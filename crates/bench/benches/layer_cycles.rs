@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the analytic per-layer cycle models: one
+//! representative convolutional and fully-connected layer per accelerator.
+//! These are the kernels every table/figure reproduction calls thousands of
+//! times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loom_core::loom_model::layer::{ConvSpec, FcSpec};
+use loom_core::loom_model::Precision;
+use loom_core::loom_precision::trace::{GroupPrecisionSource, LayerPrecisionSpec};
+use loom_core::loom_sim::config::{EquivalentConfig, LoomVariant};
+use loom_core::loom_sim::loom::{conv_schedule, fc_schedule};
+use loom_core::loom_sim::{dpnn, stripes};
+use std::hint::black_box;
+
+fn vgg_conv() -> ConvSpec {
+    ConvSpec {
+        in_channels: 256,
+        in_height: 56,
+        in_width: 56,
+        filters: 256,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+    }
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let cfg = EquivalentConfig::BASELINE_128;
+    let conv = vgg_conv();
+    let fc = FcSpec::new(25088, 4096);
+    let spec = LayerPrecisionSpec {
+        activation: Precision::new(9).unwrap(),
+        weight: Precision::new(12).unwrap(),
+        dynamic_activation: GroupPrecisionSource::Scaled { fraction: 0.75 },
+        group_weight: GroupPrecisionSource::Nominal,
+    };
+
+    c.bench_function("dpnn_conv_cycles", |b| {
+        b.iter(|| dpnn::conv_cycles(&cfg.dpnn(), black_box(&conv)))
+    });
+    c.bench_function("stripes_conv_cycles_dynamic", |b| {
+        b.iter(|| {
+            stripes::conv_cycles_dynamic(
+                &cfg.dpnn(),
+                black_box(&conv),
+                spec.activation,
+                &spec.dynamic_activation,
+            )
+        })
+    });
+    c.bench_function("loom1b_conv_schedule", |b| {
+        let g = cfg.loom(LoomVariant::Lm1b);
+        b.iter(|| conv_schedule(&g, black_box(&conv), black_box(&spec)))
+    });
+    c.bench_function("loom1b_fc_schedule", |b| {
+        let g = cfg.loom(LoomVariant::Lm1b);
+        b.iter(|| fc_schedule(&g, black_box(&fc), black_box(&spec), true))
+    });
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the bit-serial SIP kernel: the innermost
+//! operation of the whole simulator (16-lane serial inner product) at several
+//! operand precisions, against the bit-parallel reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_core::loom_model::synthetic::{
+    synthetic_activations, synthetic_weights, ValueDistribution,
+};
+use loom_core::loom_model::Precision;
+use loom_core::loom_sim::loom::{reference_inner_product, serial_inner_product};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sip_inner_product");
+    let mut rng = StdRng::seed_from_u64(1);
+    for bits in [4u8, 8, 16] {
+        let p = Precision::new(bits).unwrap();
+        let weights = synthetic_weights(&mut rng, 16, p, ValueDistribution::weights());
+        let activations = synthetic_activations(&mut rng, 16, p, ValueDistribution::activations());
+        group.bench_with_input(BenchmarkId::new("bit_serial", bits), &bits, |b, _| {
+            b.iter(|| {
+                serial_inner_product(
+                    black_box(&weights),
+                    black_box(&activations),
+                    p,
+                    p,
+                    true,
+                    false,
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bit_parallel_reference", bits),
+            &bits,
+            |b, _| b.iter(|| reference_inner_product(black_box(&weights), black_box(&activations))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sip);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Reproduces the §4.4 area comparison: post-layout area of the Loom variants
+//! relative to DPNN at the 128 MAC-equivalent configuration.
+
+use loom_core::loom_energy::area::{area, core_area_ratio};
+use loom_core::loom_sim::engine::AcceleratorKind;
+use loom_core::loom_sim::{EquivalentConfig, LoomVariant};
+use loom_core::report::TextTable;
+
+fn main() {
+    println!("Section 4.4 — Area overhead at the 128 MAC-equivalent configuration\n");
+    let cfg = EquivalentConfig::BASELINE_128;
+    let mut table = TextTable::new(vec![
+        "Design",
+        "Core area (mm2)",
+        "Relative to DPNN",
+        "Paper",
+    ]);
+    let dpnn = area(AcceleratorKind::Dpnn, cfg, 0, 0);
+    table.row(vec![
+        "DPNN".to_string(),
+        format!("{:.2}", dpnn.core_mm2()),
+        "1.00".to_string(),
+        "1.00".to_string(),
+    ]);
+    for (variant, paper) in [
+        (LoomVariant::Lm1b, 1.34),
+        (LoomVariant::Lm2b, 1.25),
+        (LoomVariant::Lm4b, 1.16),
+    ] {
+        let a = area(AcceleratorKind::Loom(variant), cfg, 0, 0);
+        table.row(vec![
+            variant.to_string(),
+            format!("{:.2}", a.core_mm2()),
+            format!("{:.2}", core_area_ratio(variant, cfg)),
+            format!("{paper:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,9 @@
+//! Reproduces Figure 4: per-network performance (a) and energy efficiency (b)
+//! of Stripes, DStripes and the Loom variants relative to DPNN for all layers
+//! under the 100% accuracy profile.
+
+use loom_core::tables::figure4;
+
+fn main() {
+    println!("{}", figure4().render());
+}

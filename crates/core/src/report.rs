@@ -1,0 +1,123 @@
+//! Plain-text table rendering used by every reproduction binary.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len().max(cells.len()), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio with two decimals, rendering NaN (layers that do not exist,
+/// e.g. NiN's FCLs) the way the paper prints them: `n/a`.
+pub fn fmt_ratio(value: f64) -> String {
+    if value.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Network", "Perf", "Eff"]);
+        t.row(vec!["AlexNet", "4.25", "3.43"]);
+        t.row(vec!["NiN", "2.97", "2.40"]);
+        let s = t.render();
+        assert!(s.contains("AlexNet"));
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Columns align: every line has the same width.
+        let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert_eq!(widths[0], widths[2]);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["A", "B", "C"]);
+        t.row(vec!["x"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(4.254), "4.25");
+        assert_eq!(fmt_ratio(f64::NAN), "n/a");
+    }
+}

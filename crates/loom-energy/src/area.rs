@@ -1,0 +1,129 @@
+//! Area model (§4.4 and the area row of Figure 5).
+
+use crate::constants::*;
+use loom_sim::config::{EquivalentConfig, LoomVariant};
+use loom_sim::engine::AcceleratorKind;
+
+/// Area breakdown of one accelerator instance, in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Datapath (MAC array or SIP grid).
+    pub datapath_mm2: f64,
+    /// Front end: ABin/ABout buffers, dispatch, control, transposer.
+    pub frontend_mm2: f64,
+    /// On-chip eDRAM memories (activation + weight memory).
+    pub memory_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Core area: datapath plus front end (what §4.4's post-layout comparison
+    /// covers).
+    pub fn core_mm2(&self) -> f64 {
+        self.datapath_mm2 + self.frontend_mm2
+    }
+
+    /// Total area including the eDRAM memories (Figure 5's area accounting).
+    pub fn total_mm2(&self) -> f64 {
+        self.core_mm2() + self.memory_mm2
+    }
+}
+
+/// Computes the area of an accelerator at a design point with the given
+/// activation-memory and weight-memory capacities (bytes).
+pub fn area(
+    kind: AcceleratorKind,
+    config: EquivalentConfig,
+    am_bytes: u64,
+    wm_bytes: u64,
+) -> AreaBreakdown {
+    let scale = config.macs_per_cycle() as f64 / 128.0;
+    let memory_mm2 = (am_bytes + wm_bytes) as f64 / (1024.0 * 1024.0) * EDRAM_AREA_MM2_PER_MB;
+    match kind {
+        AcceleratorKind::Dpnn | AcceleratorKind::Stripes | AcceleratorKind::DStripes => {
+            // Stripes replaces multipliers with serial units of comparable
+            // area; the paper treats its area as close to the baseline's.
+            AreaBreakdown {
+                datapath_mm2: DPNN_CORE_AREA_MM2 * scale,
+                frontend_mm2: FRONTEND_AREA_MM2,
+                memory_mm2,
+            }
+        }
+        AcceleratorKind::Loom(variant) => {
+            let geometry = config.loom(variant);
+            let factor = SIP_VARIANT_AREA_FACTOR[variant_index(variant)];
+            AreaBreakdown {
+                datapath_mm2: geometry.total_sips() as f64 * SIP_AREA_MM2 * factor,
+                frontend_mm2: FRONTEND_AREA_MM2 + LOOM_FRONTEND_EXTRA_MM2,
+                memory_mm2,
+            }
+        }
+    }
+}
+
+/// Core-area ratio of a Loom variant over DPNN at the given design point — the
+/// quantity §4.4 reports (1.34×, 1.25×, 1.16× at the 128 configuration).
+pub fn core_area_ratio(variant: LoomVariant, config: EquivalentConfig) -> f64 {
+    let lm = area(AcceleratorKind::Loom(variant), config, 0, 0);
+    let dpnn = area(AcceleratorKind::Dpnn, config, 0, 0);
+    lm.core_mm2() / dpnn.core_mm2()
+}
+
+pub(crate) fn variant_index(variant: LoomVariant) -> usize {
+    match variant {
+        LoomVariant::Lm1b => 0,
+        LoomVariant::Lm2b => 1,
+        LoomVariant::Lm4b => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_ratios_match_section_4_4() {
+        let cfg = EquivalentConfig::BASELINE_128;
+        let r1 = core_area_ratio(LoomVariant::Lm1b, cfg);
+        let r2 = core_area_ratio(LoomVariant::Lm2b, cfg);
+        let r4 = core_area_ratio(LoomVariant::Lm4b, cfg);
+        assert!((1.30..=1.38).contains(&r1), "LM1b ratio {r1}");
+        assert!((1.21..=1.29).contains(&r2), "LM2b ratio {r2}");
+        assert!((1.12..=1.20).contains(&r4), "LM4b ratio {r4}");
+        assert!(r1 > r2 && r2 > r4);
+    }
+
+    #[test]
+    fn memory_area_scales_with_capacity() {
+        let cfg = EquivalentConfig::BASELINE_128;
+        let small = area(AcceleratorKind::Dpnn, cfg, 1 << 20, 1 << 20);
+        let large = area(AcceleratorKind::Dpnn, cfg, 2 << 20, 2 << 20);
+        assert!(large.memory_mm2 > small.memory_mm2);
+        assert_eq!(large.core_mm2(), small.core_mm2());
+        assert!(large.total_mm2() > large.core_mm2());
+    }
+
+    #[test]
+    fn larger_configs_have_larger_datapaths() {
+        let small = area(
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            EquivalentConfig::new(32).unwrap(),
+            0,
+            0,
+        );
+        let large = area(
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            EquivalentConfig::new(512).unwrap(),
+            0,
+            0,
+        );
+        assert!(large.datapath_mm2 > 10.0 * small.datapath_mm2);
+    }
+
+    #[test]
+    fn stripes_area_tracks_baseline() {
+        let cfg = EquivalentConfig::BASELINE_128;
+        let s = area(AcceleratorKind::Stripes, cfg, 0, 0);
+        let d = area(AcceleratorKind::Dpnn, cfg, 0, 0);
+        assert_eq!(s.core_mm2(), d.core_mm2());
+    }
+}

@@ -1,0 +1,33 @@
+//! # loom-energy
+//!
+//! Analytical energy, power and area models for the Loom reproduction.
+//!
+//! The paper derives energy and area from synthesised 65 nm layouts plus CACTI
+//! and Destiny; this crate substitutes an activity-driven analytical model
+//! whose constants ([`constants`]) are calibrated to the paper's published
+//! relative results, and which consumes the activity counts (cycles, bits
+//! moved) produced by `loom-sim` and `loom-mem`.
+//!
+//! * [`area`] — core and total area per accelerator and design point (§4.4).
+//! * [`energy`] — per-network energy breakdowns and relative efficiency
+//!   (Tables 2 and 4, Figures 4b and 5).
+//!
+//! # Example
+//!
+//! ```
+//! use loom_energy::area::core_area_ratio;
+//! use loom_sim::{EquivalentConfig, LoomVariant};
+//!
+//! let ratio = core_area_ratio(LoomVariant::Lm1b, EquivalentConfig::BASELINE_128);
+//! assert!(ratio > 1.0 && ratio < 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod constants;
+pub mod energy;
+
+pub use area::AreaBreakdown;
+pub use energy::{EnergyBreakdown, EnergyModel};

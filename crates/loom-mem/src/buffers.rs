@@ -1,0 +1,226 @@
+//! On-chip storage models: the ABin/ABout SRAM buffers and the eDRAM
+//! activation (AM) and weight (WM) memories.
+//!
+//! These are accounting models: they track capacities and access counts (the
+//! inputs to the energy model) rather than contents. The paper models the SRAM
+//! buffers with CACTI and the eDRAM memories with Destiny; here the capacities
+//! and per-access energies are analytical constants in `loom-energy`.
+
+use std::fmt;
+
+/// An on-chip SRAM buffer (ABin or ABout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramBuffer {
+    name: String,
+    capacity_bits: u64,
+    row_width_bits: u64,
+    reads: u64,
+    writes: u64,
+    bits_read: u64,
+    bits_written: u64,
+}
+
+impl SramBuffer {
+    /// Creates a buffer with the given capacity and row width.
+    pub fn new(name: impl Into<String>, capacity_bits: u64, row_width_bits: u64) -> Self {
+        SramBuffer {
+            name: name.into(),
+            capacity_bits,
+            row_width_bits,
+            reads: 0,
+            writes: 0,
+            bits_read: 0,
+            bits_written: 0,
+        }
+    }
+
+    /// The buffer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Records reading `bits` bits, split into row-width accesses.
+    pub fn read(&mut self, bits: u64) {
+        let rows = bits.div_ceil(self.row_width_bits.max(1));
+        self.reads += rows;
+        self.bits_read += bits;
+    }
+
+    /// Records writing `bits` bits, split into row-width accesses.
+    pub fn write(&mut self, bits: u64) {
+        let rows = bits.div_ceil(self.row_width_bits.max(1));
+        self.writes += rows;
+        self.bits_written += bits;
+    }
+
+    /// Number of row read accesses recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of row write accesses recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bits read.
+    pub fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    /// Total bits written.
+    pub fn bits_written(&self) -> u64 {
+        self.bits_written
+    }
+}
+
+impl fmt::Display for SramBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} KB, {} reads / {} writes",
+            self.name,
+            self.capacity_bits / 8 / 1024,
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+/// An on-chip eDRAM memory (the activation memory AM or weight memory WM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdramMemory {
+    name: String,
+    capacity_bits: u64,
+    bits_read: u64,
+    bits_written: u64,
+    overflow_bits: u64,
+}
+
+impl EdramMemory {
+    /// Creates a memory with the given capacity in bytes.
+    pub fn with_capacity_bytes(name: impl Into<String>, capacity_bytes: u64) -> Self {
+        EdramMemory {
+            name: name.into(),
+            capacity_bits: capacity_bytes * 8,
+            bits_read: 0,
+            bits_written: 0,
+            overflow_bits: 0,
+        }
+    }
+
+    /// The memory's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bits / 8
+    }
+
+    /// Whether a working set of `bits` fits entirely on chip.
+    pub fn fits(&self, bits: u64) -> bool {
+        bits <= self.capacity_bits
+    }
+
+    /// The number of bits of a working set that spill off chip (zero if the
+    /// working set fits).
+    pub fn spill_bits(&self, bits: u64) -> u64 {
+        bits.saturating_sub(self.capacity_bits)
+    }
+
+    /// Records reading `bits` bits; any portion beyond capacity is counted as
+    /// overflow (off-chip) traffic.
+    pub fn read(&mut self, bits: u64) {
+        self.bits_read += bits;
+    }
+
+    /// Records writing `bits` bits.
+    pub fn write(&mut self, bits: u64) {
+        self.bits_written += bits;
+    }
+
+    /// Records `bits` of traffic that had to go off chip because the working
+    /// set exceeded the capacity.
+    pub fn record_overflow(&mut self, bits: u64) {
+        self.overflow_bits += bits;
+    }
+
+    /// Total bits read.
+    pub fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    /// Total bits written.
+    pub fn bits_written(&self) -> u64 {
+        self.bits_written
+    }
+
+    /// Total overflow (off-chip) bits recorded.
+    pub fn overflow_bits(&self) -> u64 {
+        self.overflow_bits
+    }
+}
+
+impl fmt::Display for EdramMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} MB eDRAM",
+            self.name,
+            self.capacity_bits as f64 / 8.0 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_counts_row_accesses() {
+        let mut abin = SramBuffer::new("ABin", 16 * 1024 * 8, 256);
+        abin.read(256);
+        abin.read(300); // needs 2 rows
+        abin.write(100);
+        assert_eq!(abin.reads(), 3);
+        assert_eq!(abin.writes(), 1);
+        assert_eq!(abin.bits_read(), 556);
+        assert_eq!(abin.bits_written(), 100);
+        assert_eq!(abin.capacity_bits(), 16 * 1024 * 8);
+        assert!(abin.to_string().contains("ABin"));
+    }
+
+    #[test]
+    fn edram_fits_and_spills() {
+        let am = EdramMemory::with_capacity_bytes("AM", 2 * 1024 * 1024);
+        assert_eq!(am.capacity_bytes(), 2 * 1024 * 1024);
+        assert!(am.fits(2 * 1024 * 1024 * 8));
+        assert!(!am.fits(2 * 1024 * 1024 * 8 + 1));
+        assert_eq!(am.spill_bits(2 * 1024 * 1024 * 8 + 100), 100);
+        assert_eq!(am.spill_bits(10), 0);
+    }
+
+    #[test]
+    fn edram_counters_accumulate() {
+        let mut wm = EdramMemory::with_capacity_bytes("WM", 1024);
+        wm.read(100);
+        wm.write(50);
+        wm.record_overflow(30);
+        assert_eq!(wm.bits_read(), 100);
+        assert_eq!(wm.bits_written(), 50);
+        assert_eq!(wm.overflow_bits(), 30);
+        assert!(wm.to_string().contains("WM"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Off-chip memory channel model.
+//!
+//! The paper's final experiment (Figure 5) attaches a single channel of
+//! low-power DDR4-4267 to both accelerators. For cycle accounting only the
+//! sustained bandwidth matters: the channel delivers a fixed number of bits per
+//! accelerator core cycle, and a layer whose off-chip demand exceeds what the
+//! compute time can hide becomes memory bound.
+
+/// An off-chip DRAM channel characterised by its peak bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramChannel {
+    /// Peak bandwidth in bits per second.
+    pub bits_per_second: f64,
+    /// Accelerator core clock in Hz (1 GHz for all evaluated designs).
+    pub core_clock_hz: f64,
+}
+
+impl DramChannel {
+    /// A single channel of LPDDR4-4267: 4267 MT/s over a 16-bit channel
+    /// ≈ 68.3 Gbit/s ≈ 8.53 GB/s.
+    pub fn lpddr4_4267() -> Self {
+        DramChannel {
+            bits_per_second: 4267e6 * 16.0,
+            core_clock_hz: 1e9,
+        }
+    }
+
+    /// Creates a channel from a bandwidth in gigabytes per second.
+    pub fn from_gb_per_s(gb_per_s: f64, core_clock_hz: f64) -> Self {
+        DramChannel {
+            bits_per_second: gb_per_s * 8e9,
+            core_clock_hz,
+        }
+    }
+
+    /// Bits delivered per accelerator core cycle.
+    pub fn bits_per_cycle(&self) -> f64 {
+        self.bits_per_second / self.core_clock_hz
+    }
+
+    /// Core cycles needed to transfer `bits` bits at peak bandwidth.
+    pub fn cycles_for_bits(&self, bits: u64) -> u64 {
+        (bits as f64 / self.bits_per_cycle()).ceil() as u64
+    }
+
+    /// Transfer time in seconds for `bits` bits.
+    pub fn seconds_for_bits(&self, bits: u64) -> f64 {
+        bits as f64 / self.bits_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr4_bandwidth_is_about_8_5_gb_per_s() {
+        let ch = DramChannel::lpddr4_4267();
+        let gbps = ch.bits_per_second / 8e9;
+        assert!((8.0..9.0).contains(&gbps), "got {gbps}");
+        // ~68 bits per 1 GHz cycle.
+        assert!((60.0..75.0).contains(&ch.bits_per_cycle()));
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_bits() {
+        let ch = DramChannel::from_gb_per_s(8.0, 1e9);
+        assert_eq!(ch.bits_per_cycle(), 64.0);
+        assert_eq!(ch.cycles_for_bits(64), 1);
+        assert_eq!(ch.cycles_for_bits(65), 2);
+        assert_eq!(ch.cycles_for_bits(6400), 100);
+        assert_eq!(ch.cycles_for_bits(0), 0);
+    }
+
+    #[test]
+    fn seconds_for_bits_consistent_with_cycles() {
+        let ch = DramChannel::from_gb_per_s(8.0, 1e9);
+        let bits = 1_000_000u64;
+        let secs = ch.seconds_for_bits(bits);
+        let cycles = ch.cycles_for_bits(bits);
+        assert!((secs * 1e9 - cycles as f64).abs() <= 1.0);
+    }
+}

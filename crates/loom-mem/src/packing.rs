@@ -1,0 +1,243 @@
+//! Bit-interleaved packed storage.
+//!
+//! Because Loom consumes weights and activations bit-serially, it can store
+//! them "in a bit-interleaved fashion and using only as many bits as
+//! necessary" (§3.2): for a group of values processed in parallel, bit 0 of
+//! every value is stored contiguously, then bit 1, and so on up to the group's
+//! precision. This both shrinks the memory footprint by `P/16` and makes every
+//! memory row directly consumable by the SIP array without any crossbar.
+
+use loom_model::fixed::{bit_of, Precision};
+use std::fmt;
+
+/// Error produced when packing parameters are inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackingError {
+    detail: String,
+}
+
+impl fmt::Display for PackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "packing error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PackingError {}
+
+/// A group of values stored bit-interleaved: `precision` rows of `lanes` bits.
+///
+/// Row `b` holds bit `b` of every value in the group, one bit per lane, packed
+/// into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedGroup {
+    lanes: usize,
+    precision: Precision,
+    rows: Vec<Vec<u64>>,
+}
+
+impl PackedGroup {
+    /// Packs `values` (one per lane) at the given precision.
+    ///
+    /// Values are stored as their low `precision` bits (two's complement for
+    /// signed data); callers are responsible for choosing a precision that
+    /// losslessly covers the values (see `loom_precision::dynamic`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `values` is empty.
+    pub fn pack(values: &[i32], precision: Precision) -> Result<Self, PackingError> {
+        if values.is_empty() {
+            return Err(PackingError {
+                detail: "cannot pack an empty group".to_string(),
+            });
+        }
+        let lanes = values.len();
+        let words = lanes.div_ceil(64);
+        let mut rows = vec![vec![0u64; words]; precision.bits() as usize];
+        for (lane, &v) in values.iter().enumerate() {
+            for (b, row) in rows.iter_mut().enumerate() {
+                if bit_of(v, b as u8) == 1 {
+                    row[lane / 64] |= 1u64 << (lane % 64);
+                }
+            }
+        }
+        Ok(PackedGroup {
+            lanes,
+            precision,
+            rows,
+        })
+    }
+
+    /// Number of lanes (values) in the group.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Precision the group was packed at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The bit row for bit position `bit`: one bit per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= precision`.
+    pub fn row(&self, bit: u8) -> Vec<u8> {
+        let row = &self.rows[bit as usize];
+        (0..self.lanes)
+            .map(|lane| ((row[lane / 64] >> (lane % 64)) & 1) as u8)
+            .collect()
+    }
+
+    /// Unpacks the group back into signed values (sign-extending from the
+    /// packed precision).
+    pub fn unpack_signed(&self) -> Vec<i32> {
+        let p = self.precision.bits() as u32;
+        (0..self.lanes)
+            .map(|lane| {
+                let mut raw = 0u32;
+                for (b, row) in self.rows.iter().enumerate() {
+                    raw |= (((row[lane / 64] >> (lane % 64)) & 1) as u32) << b;
+                }
+                // Sign-extend from `p` bits.
+                let shifted = raw << (32 - p);
+                (shifted as i32) >> (32 - p)
+            })
+            .collect()
+    }
+
+    /// Unpacks the group back into unsigned (non-negative) values.
+    pub fn unpack_unsigned(&self) -> Vec<i32> {
+        (0..self.lanes)
+            .map(|lane| {
+                let mut raw = 0u32;
+                for (b, row) in self.rows.iter().enumerate() {
+                    raw |= (((row[lane / 64] >> (lane % 64)) & 1) as u32) << b;
+                }
+                raw as i32
+            })
+            .collect()
+    }
+
+    /// Total storage the packed group occupies, in bits (`lanes × precision`).
+    pub fn storage_bits(&self) -> u64 {
+        self.lanes as u64 * self.precision.bits_u64()
+    }
+}
+
+/// Storage footprint in bits of `count` values stored bit-packed at
+/// `precision`, versus the 16 bits per value the bit-parallel baseline uses.
+///
+/// # Examples
+///
+/// ```
+/// use loom_mem::packing::{packed_footprint_bits, baseline_footprint_bits};
+/// use loom_model::Precision;
+/// let p = Precision::new(13).unwrap();
+/// assert_eq!(packed_footprint_bits(2048, p), 2048 * 13);
+/// assert_eq!(baseline_footprint_bits(2048), 2048 * 16);
+/// ```
+pub fn packed_footprint_bits(count: u64, precision: Precision) -> u64 {
+    count * precision.bits_u64()
+}
+
+/// Storage footprint in bits of `count` values at the baseline 16-bit width.
+pub fn baseline_footprint_bits(count: u64) -> u64 {
+    count * 16
+}
+
+/// The fraction of baseline storage/bandwidth saved by packing at `precision`:
+/// the paper's `(16 - P) / 16` reduction.
+pub fn footprint_saving(precision: Precision) -> f64 {
+    f64::from(16 - precision.bits()) / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_signed() {
+        let values = vec![-4096, 4095, 0, -1, 123, -77, 2048];
+        let p = Precision::new(13).unwrap();
+        let packed = PackedGroup::pack(&values, p).unwrap();
+        assert_eq!(packed.unpack_signed(), values);
+        assert_eq!(packed.lanes(), 7);
+        assert_eq!(packed.storage_bits(), 7 * 13);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_unsigned() {
+        let values = vec![0, 1, 255, 128, 31];
+        let p = Precision::new(8).unwrap();
+        let packed = PackedGroup::pack(&values, p).unwrap();
+        assert_eq!(packed.unpack_unsigned(), values);
+    }
+
+    #[test]
+    fn rows_hold_one_bit_position_across_lanes() {
+        let values = vec![0b01, 0b10, 0b11];
+        let p = Precision::new(2).unwrap();
+        let packed = PackedGroup::pack(&values, p).unwrap();
+        assert_eq!(packed.row(0), vec![1, 0, 1]);
+        assert_eq!(packed.row(1), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn wide_groups_span_multiple_words() {
+        let values: Vec<i32> = (0..130).map(|i| i % 2).collect();
+        let p = Precision::new(1).unwrap();
+        let packed = PackedGroup::pack(&values, p).unwrap();
+        assert_eq!(packed.unpack_unsigned(), values);
+        assert_eq!(packed.row(0).len(), 130);
+    }
+
+    #[test]
+    fn empty_group_is_rejected() {
+        assert!(PackedGroup::pack(&[], Precision::FULL).is_err());
+    }
+
+    #[test]
+    fn footprint_matches_paper_formula() {
+        let p = Precision::new(10).unwrap();
+        assert_eq!(packed_footprint_bits(1000, p), 10_000);
+        assert_eq!(baseline_footprint_bits(1000), 16_000);
+        assert!((footprint_saving(p) - 6.0 / 16.0).abs() < 1e-12);
+        assert_eq!(footprint_saving(Precision::FULL), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use loom_model::fixed::required_precision;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Packing at the detected precision round-trips exactly and uses
+        /// exactly `lanes × precision` bits of storage.
+        #[test]
+        fn pack_roundtrip(values in prop::collection::vec(-32768i32..=32767, 1..300)) {
+            let p = required_precision(&values);
+            let packed = PackedGroup::pack(&values, p).unwrap();
+            prop_assert_eq!(packed.unpack_signed(), values.clone());
+            prop_assert_eq!(packed.storage_bits(), values.len() as u64 * u64::from(p.bits()));
+        }
+
+        /// Every bit row reproduces the corresponding bit of every lane.
+        #[test]
+        fn rows_match_bit_extraction(values in prop::collection::vec(0i32..=65535, 1..100)) {
+            let p = Precision::FULL;
+            let packed = PackedGroup::pack(&values, p).unwrap();
+            for bit in 0..p.bits() {
+                let row = packed.row(bit);
+                for (lane, &v) in values.iter().enumerate() {
+                    prop_assert_eq!(row[lane], loom_model::fixed::bit_of(v, bit));
+                }
+            }
+        }
+    }
+}

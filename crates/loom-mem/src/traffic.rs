@@ -1,0 +1,135 @@
+//! Per-layer data traffic accounting.
+//!
+//! Both accelerators move the same *number* of values; what differs is the
+//! number of *bits* per value: the bit-parallel baseline stores and transfers
+//! everything at 16 bits, while Loom stores and transfers weights and
+//! activations packed at the per-layer profile precisions (§3.2 "Reducing
+//! Memory Footprint and Bandwidth"). These counts feed both the energy model
+//! and the off-chip bandwidth model.
+
+use loom_model::layer::LayerKind;
+use loom_model::Precision;
+
+/// Bits moved for one layer, per inference frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerTraffic {
+    /// Weight bits read (each weight is read once per frame).
+    pub weight_bits: u64,
+    /// Input activation bits read.
+    pub input_activation_bits: u64,
+    /// Output activation bits written.
+    pub output_activation_bits: u64,
+}
+
+impl LayerTraffic {
+    /// Total bits moved.
+    pub fn total_bits(&self) -> u64 {
+        self.weight_bits + self.input_activation_bits + self.output_activation_bits
+    }
+
+    /// Sums two traffic records.
+    pub fn add(&self, other: &LayerTraffic) -> LayerTraffic {
+        LayerTraffic {
+            weight_bits: self.weight_bits + other.weight_bits,
+            input_activation_bits: self.input_activation_bits + other.input_activation_bits,
+            output_activation_bits: self.output_activation_bits + other.output_activation_bits,
+        }
+    }
+}
+
+/// Storage precisions a layer's data is kept at. The baseline uses
+/// [`StoragePrecision::baseline`]; Loom uses the per-layer profile precisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoragePrecision {
+    /// Bits per stored activation.
+    pub activation: Precision,
+    /// Bits per stored weight.
+    pub weight: Precision,
+}
+
+impl StoragePrecision {
+    /// The bit-parallel baseline: 16 bits for everything.
+    pub fn baseline() -> Self {
+        StoragePrecision {
+            activation: Precision::FULL,
+            weight: Precision::FULL,
+        }
+    }
+
+    /// Packed storage at the given profile precisions.
+    pub fn packed(activation: Precision, weight: Precision) -> Self {
+        StoragePrecision { activation, weight }
+    }
+}
+
+/// Computes the per-frame traffic of a layer when its data is stored at the
+/// given precisions. Pooling layers move activations but no weights.
+pub fn layer_traffic(kind: &LayerKind, storage: StoragePrecision) -> LayerTraffic {
+    LayerTraffic {
+        weight_bits: kind.total_weights() * storage.weight.bits_u64(),
+        input_activation_bits: kind.total_input_activations() * storage.activation.bits_u64(),
+        output_activation_bits: kind.total_output_activations() * storage.activation.bits_u64(),
+    }
+}
+
+/// The on-chip activation working set of a layer (its inputs plus its outputs)
+/// in bits, at the given activation storage precision. This is what must fit in
+/// the activation memory to avoid off-chip spills.
+pub fn activation_working_set_bits(kind: &LayerKind, activation: Precision) -> u64 {
+    (kind.total_input_activations() + kind.total_output_activations()) * activation.bits_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::layer::{ConvSpec, FcSpec, PoolSpec};
+
+    #[test]
+    fn baseline_traffic_uses_16_bits_everywhere() {
+        let kind = LayerKind::FullyConnected(FcSpec::new(100, 10));
+        let t = layer_traffic(&kind, StoragePrecision::baseline());
+        assert_eq!(t.weight_bits, 1000 * 16);
+        assert_eq!(t.input_activation_bits, 100 * 16);
+        assert_eq!(t.output_activation_bits, 10 * 16);
+        assert_eq!(t.total_bits(), (1000 + 110) * 16);
+    }
+
+    #[test]
+    fn packed_traffic_scales_with_precision() {
+        let kind = LayerKind::FullyConnected(FcSpec::new(100, 10));
+        let packed =
+            StoragePrecision::packed(Precision::new(8).unwrap(), Precision::new(10).unwrap());
+        let t = layer_traffic(&kind, packed);
+        assert_eq!(t.weight_bits, 1000 * 10);
+        assert_eq!(t.input_activation_bits, 100 * 8);
+        // Saving matches the paper's (16-P)/16 claim.
+        let baseline = layer_traffic(&kind, StoragePrecision::baseline());
+        assert!(t.total_bits() < baseline.total_bits());
+    }
+
+    #[test]
+    fn pooling_moves_no_weights() {
+        let kind = LayerKind::MaxPool(PoolSpec::new(4, 8, 8, 2, 2));
+        let t = layer_traffic(&kind, StoragePrecision::baseline());
+        assert_eq!(t.weight_bits, 0);
+        assert!(t.input_activation_bits > 0);
+    }
+
+    #[test]
+    fn working_set_counts_inputs_and_outputs() {
+        let conv = LayerKind::Conv(ConvSpec::simple(2, 8, 8, 4, 3));
+        let bits = activation_working_set_bits(&conv, Precision::new(8).unwrap());
+        assert_eq!(bits, (2 * 8 * 8 + 4 * 6 * 6) * 8);
+    }
+
+    #[test]
+    fn traffic_add_accumulates() {
+        let a = LayerTraffic {
+            weight_bits: 1,
+            input_activation_bits: 2,
+            output_activation_bits: 3,
+        };
+        let b = a.add(&a);
+        assert_eq!(b.total_bits(), 12);
+    }
+}

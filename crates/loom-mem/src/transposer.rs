@@ -1,0 +1,100 @@
+//! The output-activation transposer.
+//!
+//! Loom's SIPs produce output activations bit-parallel (each OR register holds
+//! a complete value), but the activation memory stores data bit-interleaved so
+//! that it can be fed back bit-serially to the next layer. "A transposer can
+//! rotate the output activations prior to writing them to AM from ABout. Since
+//! each output activation entails inner-products with tens to hundreds of
+//! inputs, the transposer demand will be low." (§3.2)
+
+use crate::packing::PackedGroup;
+use loom_model::fixed::Precision;
+
+/// A functional model of the transposer with utilisation accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transposer {
+    blocks_transposed: u64,
+    values_transposed: u64,
+}
+
+impl Transposer {
+    /// Creates an idle transposer.
+    pub fn new() -> Self {
+        Transposer::default()
+    }
+
+    /// Transposes a block of output activations into bit-interleaved form at
+    /// the given storage precision, recording the work performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying packing error for an empty block.
+    pub fn transpose(
+        &mut self,
+        values: &[i32],
+        precision: Precision,
+    ) -> Result<PackedGroup, crate::packing::PackingError> {
+        let packed = PackedGroup::pack(values, precision)?;
+        self.blocks_transposed += 1;
+        self.values_transposed += values.len() as u64;
+        Ok(packed)
+    }
+
+    /// Number of blocks transposed so far.
+    pub fn blocks_transposed(&self) -> u64 {
+        self.blocks_transposed
+    }
+
+    /// Number of values transposed so far.
+    pub fn values_transposed(&self) -> u64 {
+        self.values_transposed
+    }
+
+    /// The paper's utilisation argument: each output activation takes on the
+    /// order of `inner_product_length` accumulation cycles to produce, while
+    /// the transposer rotates a block of `block_size` finished outputs in a
+    /// single pass of `block_size` cycles. The fraction of time the transposer
+    /// is busy is therefore `block_size / inner_product_length`, which is far
+    /// below one for realistic layers ("the transposer demand will be low").
+    pub fn utilisation(block_size: usize, inner_product_length: usize) -> f64 {
+        if inner_product_length == 0 {
+            return 1.0;
+        }
+        (block_size as f64 / inner_product_length as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_roundtrips_and_counts() {
+        let mut t = Transposer::new();
+        let values = vec![100, -50, 0, 7];
+        let packed = t.transpose(&values, Precision::new(9).unwrap()).unwrap();
+        assert_eq!(packed.unpack_signed(), values);
+        assert_eq!(t.blocks_transposed(), 1);
+        assert_eq!(t.values_transposed(), 4);
+        t.transpose(&values, Precision::new(9).unwrap()).unwrap();
+        assert_eq!(t.blocks_transposed(), 2);
+        assert_eq!(t.values_transposed(), 8);
+    }
+
+    #[test]
+    fn utilisation_is_low_for_long_inner_products() {
+        // A conv layer with 2304-long inner products keeps the transposer
+        // nearly idle, as the paper argues.
+        let u = Transposer::utilisation(256, 2304);
+        assert!(u < 0.2, "got {u}");
+        // Degenerate short inner products saturate at 1.
+        assert_eq!(Transposer::utilisation(16, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_block_is_rejected() {
+        let mut t = Transposer::new();
+        assert!(t.transpose(&[], Precision::FULL).is_err());
+        assert_eq!(t.blocks_transposed(), 0);
+    }
+}

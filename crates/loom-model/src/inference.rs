@@ -1,0 +1,449 @@
+//! Quantized forward inference over a linear chain of layers.
+//!
+//! This is the golden model the functional accelerator simulation is compared
+//! against, and the source of real activation values for the dynamic precision
+//! detectors. It handles networks whose layers chain shape-to-shape (conv →
+//! pool → conv → … → fc); the large zoo networks with branching topologies
+//! (GoogLeNet) are only ever run through the *cycle* models, which need
+//! per-layer geometry rather than chained values.
+
+use crate::fixed::Precision;
+use crate::layer::{LayerError, LayerKind};
+use crate::network::Network;
+use crate::quant::{choose_requant_shift, requantize};
+use crate::reference::{conv_forward, fc_forward, max_pool_forward, relu_in_place};
+use crate::synthetic::{synthetic_weights, ValueDistribution};
+use crate::tensor::{Shape4, Tensor3, Tensor4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Error produced when a network cannot be run as a linear chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferenceError {
+    /// Two consecutive layers disagree about the activation shape between them.
+    ShapeMismatch {
+        /// Name of the layer whose input did not match.
+        layer: String,
+        /// Number of activations produced by the previous layer.
+        produced: usize,
+        /// Number of activations the layer expects.
+        expected: usize,
+    },
+    /// The network has no layers.
+    Empty,
+    /// A layer failed validation.
+    Layer(LayerError),
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::ShapeMismatch {
+                layer,
+                produced,
+                expected,
+            } => write!(
+                f,
+                "layer {layer} expects {expected} input activations but the previous layer produced {produced}"
+            ),
+            InferenceError::Empty => write!(f, "network has no layers"),
+            InferenceError::Layer(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+impl From<LayerError> for InferenceError {
+    fn from(e: LayerError) -> Self {
+        InferenceError::Layer(e)
+    }
+}
+
+/// The weights of one compute layer, flattened in the layout the reference
+/// implementations expect (`KCHW` for convolutions, row-major `out × in` for
+/// fully-connected layers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerWeights {
+    /// Name of the layer these weights belong to.
+    pub layer_name: String,
+    /// Flattened weight values.
+    pub values: Vec<i32>,
+}
+
+/// All weights of a network, one entry per *compute* layer in network order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkParams {
+    weights: Vec<LayerWeights>,
+}
+
+impl NetworkParams {
+    /// Creates parameters from an explicit list of per-layer weights.
+    pub fn new(weights: Vec<LayerWeights>) -> Self {
+        NetworkParams { weights }
+    }
+
+    /// Generates synthetic parameters for `network`, one weight precision per
+    /// compute layer (`weight_precisions` is cycled if shorter than the number
+    /// of compute layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_precisions` is empty.
+    pub fn synthetic(network: &Network, weight_precisions: &[Precision], seed: u64) -> Self {
+        assert!(
+            !weight_precisions.is_empty(),
+            "at least one weight precision is required"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::new();
+        let mut idx = 0usize;
+        for layer in network.compute_layers() {
+            let precision = weight_precisions[idx % weight_precisions.len()];
+            idx += 1;
+            let count = layer.kind.total_weights() as usize;
+            weights.push(LayerWeights {
+                layer_name: layer.name.clone(),
+                values: synthetic_weights(&mut rng, count, precision, ValueDistribution::weights()),
+            });
+        }
+        NetworkParams { weights }
+    }
+
+    /// Per-layer weights in network (compute-layer) order.
+    pub fn layers(&self) -> &[LayerWeights] {
+        &self.weights
+    }
+
+    /// Looks up the weights of a layer by name.
+    pub fn for_layer(&self, name: &str) -> Option<&LayerWeights> {
+        self.weights.iter().find(|w| w.layer_name == name)
+    }
+}
+
+/// The recorded activations of one layer during a forward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub layer_name: String,
+    /// Input activations the layer consumed (flattened).
+    pub inputs: Vec<i32>,
+    /// Wide accumulator outputs before re-quantization (compute layers only).
+    pub accumulators: Vec<i64>,
+    /// Quantized output activations after re-quantization and ReLU.
+    pub outputs: Vec<i32>,
+    /// Right-shift applied when re-quantizing the accumulators.
+    pub requant_shift: u8,
+}
+
+/// The complete record of a forward pass: one [`LayerTrace`] per layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceTrace {
+    /// Per-layer traces in execution order.
+    pub layers: Vec<LayerTrace>,
+}
+
+impl InferenceTrace {
+    /// The final layer's quantized outputs (the network's prediction vector).
+    pub fn final_outputs(&self) -> &[i32] {
+        self.layers
+            .last()
+            .map(|l| l.outputs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The final layer's wide accumulators, used as the fidelity reference by
+    /// the precision profiler.
+    pub fn final_accumulators(&self) -> &[i64] {
+        self.layers
+            .last()
+            .map(|l| l.accumulators.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Looks up the trace of a layer by name.
+    pub fn for_layer(&self, name: &str) -> Option<&LayerTrace> {
+        self.layers.iter().find(|l| l.layer_name == name)
+    }
+}
+
+/// Options controlling the forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceOptions {
+    /// Precision the re-quantized activations are clamped to between layers.
+    pub activation_precision: Precision,
+    /// Whether ReLU is applied after every compute layer (the evaluated
+    /// networks all use ReLU).
+    pub relu: bool,
+}
+
+impl Default for InferenceOptions {
+    fn default() -> Self {
+        InferenceOptions {
+            activation_precision: Precision::FULL,
+            relu: true,
+        }
+    }
+}
+
+/// Runs a forward pass of `network` over `input` using `params`.
+///
+/// # Errors
+///
+/// Returns [`InferenceError::ShapeMismatch`] if the layers do not chain, or
+/// [`InferenceError::Empty`] for an empty network.
+pub fn run_chain(
+    network: &Network,
+    params: &NetworkParams,
+    input: &Tensor3,
+    options: InferenceOptions,
+) -> Result<InferenceTrace, InferenceError> {
+    run_chain_with_precisions(network, params, input, options, &[])
+}
+
+/// Runs a forward pass like [`run_chain`], additionally clamping the *input*
+/// activations of the `j`-th compute layer to `compute_layer_precisions[j]`
+/// before it executes. This is the knob the precision profiler turns when it
+/// searches for the smallest per-layer activation precisions (Judd et al.).
+///
+/// Layers beyond the end of the slice run at full precision.
+///
+/// # Errors
+///
+/// Returns [`InferenceError::ShapeMismatch`] if the layers do not chain, or
+/// [`InferenceError::Empty`] for an empty network.
+pub fn run_chain_with_precisions(
+    network: &Network,
+    params: &NetworkParams,
+    input: &Tensor3,
+    options: InferenceOptions,
+    compute_layer_precisions: &[Precision],
+) -> Result<InferenceTrace, InferenceError> {
+    if network.layers().is_empty() {
+        return Err(InferenceError::Empty);
+    }
+    let clamp_input = |current: &mut Vec<i32>, compute_idx: usize| {
+        if let Some(&p) = compute_layer_precisions.get(compute_idx) {
+            *current = crate::quant::apply_precision(current, p);
+        }
+    };
+    let mut traces = Vec::with_capacity(network.layers().len());
+    let mut current: Vec<i32> = input.as_slice().to_vec();
+    let mut current_shape = Some(input.shape());
+    let mut weight_idx = 0usize;
+
+    for layer in network.layers() {
+        match &layer.kind {
+            LayerKind::Conv(spec) => {
+                spec.validate()?;
+                clamp_input(&mut current, weight_idx);
+                let expected = spec.input_shape().len();
+                if current.len() != expected {
+                    return Err(InferenceError::ShapeMismatch {
+                        layer: layer.name.clone(),
+                        produced: current.len(),
+                        expected,
+                    });
+                }
+                let in_tensor = Tensor3::from_vec(spec.input_shape(), current.clone())
+                    .expect("length checked above");
+                let weights = &params.layers()[weight_idx];
+                weight_idx += 1;
+                let w_shape = spec.weight_shape();
+                let w_tensor = Tensor4::from_vec(
+                    Shape4::new(w_shape.k, w_shape.c, w_shape.h, w_shape.w),
+                    weights.values.clone(),
+                )
+                .map_err(|_| InferenceError::ShapeMismatch {
+                    layer: layer.name.clone(),
+                    produced: weights.values.len(),
+                    expected: w_shape.len(),
+                })?;
+                let acc = conv_forward(spec, &in_tensor, &w_tensor);
+                let shift = choose_requant_shift(&acc, options.activation_precision);
+                let mut out = requantize(&acc, shift, options.activation_precision);
+                if options.relu {
+                    relu_in_place(&mut out);
+                }
+                traces.push(LayerTrace {
+                    layer_name: layer.name.clone(),
+                    inputs: current,
+                    accumulators: acc,
+                    outputs: out.clone(),
+                    requant_shift: shift,
+                });
+                current = out;
+                current_shape = Some(spec.output_shape());
+            }
+            LayerKind::FullyConnected(spec) => {
+                spec.validate()?;
+                clamp_input(&mut current, weight_idx);
+                if current.len() != spec.in_features {
+                    return Err(InferenceError::ShapeMismatch {
+                        layer: layer.name.clone(),
+                        produced: current.len(),
+                        expected: spec.in_features,
+                    });
+                }
+                let weights = &params.layers()[weight_idx];
+                weight_idx += 1;
+                let acc = fc_forward(spec, &current, &weights.values);
+                let shift = choose_requant_shift(&acc, options.activation_precision);
+                let mut out = requantize(&acc, shift, options.activation_precision);
+                if options.relu {
+                    relu_in_place(&mut out);
+                }
+                traces.push(LayerTrace {
+                    layer_name: layer.name.clone(),
+                    inputs: current,
+                    accumulators: acc,
+                    outputs: out.clone(),
+                    requant_shift: shift,
+                });
+                current = out;
+                current_shape = None;
+            }
+            LayerKind::MaxPool(spec) => {
+                let expected = spec.input_shape().len();
+                if current.len() != expected {
+                    return Err(InferenceError::ShapeMismatch {
+                        layer: layer.name.clone(),
+                        produced: current.len(),
+                        expected,
+                    });
+                }
+                let in_tensor = Tensor3::from_vec(spec.input_shape(), current.clone())
+                    .expect("length checked above");
+                let out_tensor = max_pool_forward(spec, &in_tensor);
+                let out = out_tensor.as_slice().to_vec();
+                traces.push(LayerTrace {
+                    layer_name: layer.name.clone(),
+                    inputs: current,
+                    accumulators: Vec::new(),
+                    outputs: out.clone(),
+                    requant_shift: 0,
+                });
+                current = out;
+                current_shape = Some(spec.output_shape());
+            }
+        }
+    }
+    // `current_shape` is tracked for future extensions (e.g. NCHW re-layout of
+    // the final feature map); silence the otherwise-unused assignment.
+    let _ = current_shape;
+    Ok(InferenceTrace { layers: traces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+    use crate::network::NetworkBuilder;
+    use crate::synthetic::{synthetic_activations, ValueDistribution};
+    use crate::tensor::Shape3;
+
+    fn small_net() -> Network {
+        NetworkBuilder::new("small")
+            .conv("conv1", ConvSpec::simple(2, 8, 8, 4, 3))
+            .max_pool("pool1", PoolSpec::new(4, 6, 6, 2, 2))
+            .conv("conv2", ConvSpec::simple(4, 3, 3, 8, 3))
+            .fully_connected("fc1", FcSpec::new(8, 5))
+            .build()
+            .unwrap()
+    }
+
+    fn small_input(seed: u64) -> Tensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = synthetic_activations(
+            &mut rng,
+            2 * 8 * 8,
+            Precision::new(8).unwrap(),
+            ValueDistribution::activations(),
+        );
+        Tensor3::from_vec(Shape3::new(2, 8, 8), values).unwrap()
+    }
+
+    #[test]
+    fn chain_runs_end_to_end() {
+        let net = small_net();
+        let params = NetworkParams::synthetic(&net, &[Precision::new(8).unwrap()], 1);
+        let trace = run_chain(&net, &params, &small_input(2), InferenceOptions::default()).unwrap();
+        assert_eq!(trace.layers.len(), 4);
+        assert_eq!(trace.final_outputs().len(), 5);
+        // ReLU means no negative outputs anywhere.
+        for layer in &trace.layers {
+            assert!(
+                layer.outputs.iter().all(|&v| v >= 0),
+                "layer {}",
+                layer.layer_name
+            );
+        }
+    }
+
+    #[test]
+    fn chain_is_deterministic() {
+        let net = small_net();
+        let params = NetworkParams::synthetic(&net, &[Precision::new(8).unwrap()], 1);
+        let a = run_chain(&net, &params, &small_input(2), InferenceOptions::default()).unwrap();
+        let b = run_chain(&net, &params, &small_input(2), InferenceOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let net = NetworkBuilder::new("broken")
+            .conv("conv1", ConvSpec::simple(2, 8, 8, 4, 3))
+            .fully_connected("fc1", FcSpec::new(9999, 5))
+            .build()
+            .unwrap();
+        let params = NetworkParams::synthetic(&net, &[Precision::new(8).unwrap()], 1);
+        let err =
+            run_chain(&net, &params, &small_input(2), InferenceOptions::default()).unwrap_err();
+        match err {
+            InferenceError::ShapeMismatch {
+                layer, expected, ..
+            } => {
+                assert_eq!(layer, "fc1");
+                assert_eq!(expected, 9999);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_activation_precision_changes_outputs_but_keeps_range() {
+        let net = small_net();
+        let params = NetworkParams::synthetic(&net, &[Precision::new(8).unwrap()], 1);
+        let opts = InferenceOptions {
+            activation_precision: Precision::new(6).unwrap(),
+            relu: true,
+        };
+        let trace = run_chain(&net, &params, &small_input(2), opts).unwrap();
+        for layer in &trace.layers {
+            assert!(
+                layer.outputs.iter().all(|&v| v <= 31),
+                "layer {}",
+                layer.layer_name
+            );
+        }
+    }
+
+    #[test]
+    fn params_lookup_by_name() {
+        let net = small_net();
+        let params = NetworkParams::synthetic(&net, &[Precision::new(8).unwrap()], 1);
+        assert!(params.for_layer("conv2").is_some());
+        assert!(params.for_layer("nonexistent").is_none());
+        assert_eq!(params.layers().len(), 3);
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        let net = NetworkBuilder::new("empty").build().unwrap();
+        let params = NetworkParams::new(vec![]);
+        let err =
+            run_chain(&net, &params, &small_input(1), InferenceOptions::default()).unwrap_err();
+        assert_eq!(err, InferenceError::Empty);
+    }
+}

@@ -1,0 +1,231 @@
+//! Whole-network descriptors and a builder for assembling them.
+
+use crate::layer::{ConvSpec, FcSpec, Layer, LayerError, LayerKind, PoolSpec};
+use std::fmt;
+
+/// A feed-forward CNN described as an ordered list of layers.
+///
+/// The networks the paper evaluates (NiN, AlexNet, GoogLeNet, VGG-S, VGG-M,
+/// VGG-19) are provided by [`crate::zoo`]; custom networks can be assembled
+/// with [`NetworkBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::network::NetworkBuilder;
+/// use loom_model::layer::{ConvSpec, FcSpec};
+///
+/// let net = NetworkBuilder::new("tiny")
+///     .conv("conv1", ConvSpec::simple(3, 8, 8, 16, 3))
+///     .fully_connected("fc1", FcSpec::new(16 * 6 * 6, 10))
+///     .build()
+///     .unwrap();
+/// assert_eq!(net.conv_layers().count(), 1);
+/// assert_eq!(net.fc_layers().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from pre-validated layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayerError`] if any layer's geometry is invalid.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Result<Self, LayerError> {
+        for layer in &layers {
+            match &layer.kind {
+                LayerKind::Conv(c) => c.validate()?,
+                LayerKind::FullyConnected(f) => f.validate()?,
+                LayerKind::MaxPool(_) => {}
+            }
+        }
+        Ok(Network {
+            name: name.into(),
+            layers,
+        })
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Iterator over the convolutional layers, in order.
+    pub fn conv_layers(&self) -> impl Iterator<Item = (&Layer, &ConvSpec)> {
+        self.layers.iter().filter_map(|l| match &l.kind {
+            LayerKind::Conv(c) => Some((l, c)),
+            _ => None,
+        })
+    }
+
+    /// Iterator over the fully-connected layers, in order.
+    pub fn fc_layers(&self) -> impl Iterator<Item = (&Layer, &FcSpec)> {
+        self.layers.iter().filter_map(|l| match &l.kind {
+            LayerKind::FullyConnected(f) => Some((l, f)),
+            _ => None,
+        })
+    }
+
+    /// Iterator over the compute (conv + FC) layers, in order.
+    pub fn compute_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.layers.iter().filter(|l| l.kind.is_compute())
+    }
+
+    /// Total MACs over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total MACs over the convolutional layers only.
+    pub fn conv_macs(&self) -> u64 {
+        self.conv_layers().map(|(l, _)| l.macs()).sum()
+    }
+
+    /// Total MACs over the fully-connected layers only.
+    pub fn fc_macs(&self) -> u64 {
+        self.fc_layers().map(|(l, _)| l.macs()).sum()
+    }
+
+    /// Total weight count over all compute layers.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.kind.total_weights()).sum()
+    }
+
+    /// The largest number of input+output activations alive for any single
+    /// compute layer, used to size the activation memory (§4.5).
+    pub fn peak_layer_activations(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.kind.is_compute())
+            .map(|l| l.kind.total_input_activations() + l.kind.total_output_activations())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} layers, {:.2} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+/// Incrementally assembles a [`Network`].
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a convolutional layer.
+    pub fn conv(mut self, name: impl Into<String>, spec: ConvSpec) -> Self {
+        self.layers.push(Layer::conv(name, spec));
+        self
+    }
+
+    /// Appends a fully-connected layer.
+    pub fn fully_connected(mut self, name: impl Into<String>, spec: FcSpec) -> Self {
+        self.layers.push(Layer::fully_connected(name, spec));
+        self
+    }
+
+    /// Appends a max-pooling layer.
+    pub fn max_pool(mut self, name: impl Into<String>, spec: PoolSpec) -> Self {
+        self.layers.push(Layer::max_pool(name, spec));
+        self
+    }
+
+    /// Appends an arbitrary pre-built layer.
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayerError`] if any layer's geometry is invalid.
+    pub fn build(self) -> Result<Network, LayerError> {
+        Network::new(self.name, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+
+    fn tiny() -> Network {
+        NetworkBuilder::new("tiny")
+            .conv("conv1", ConvSpec::simple(3, 10, 10, 8, 3))
+            .max_pool("pool1", PoolSpec::new(8, 8, 8, 2, 2))
+            .conv("conv2", ConvSpec::simple(8, 4, 4, 16, 3))
+            .fully_connected("fc1", FcSpec::new(16 * 2 * 2, 10))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_preserves_order_and_counts() {
+        let net = tiny();
+        assert_eq!(net.layers().len(), 4);
+        assert_eq!(net.conv_layers().count(), 2);
+        assert_eq!(net.fc_layers().count(), 1);
+        assert_eq!(net.compute_layers().count(), 3);
+        assert_eq!(net.name(), "tiny");
+    }
+
+    #[test]
+    fn mac_totals_split_by_layer_type() {
+        let net = tiny();
+        let conv1 = 8 * 8 * 8 * 3 * 9;
+        let conv2 = 2 * 2 * 16 * 8 * 9;
+        let fc = 64 * 10;
+        assert_eq!(net.conv_macs(), (conv1 + conv2) as u64);
+        assert_eq!(net.fc_macs(), fc as u64);
+        assert_eq!(net.total_macs(), (conv1 + conv2 + fc) as u64);
+    }
+
+    #[test]
+    fn network_rejects_invalid_layers() {
+        let result = NetworkBuilder::new("bad")
+            .conv("conv1", ConvSpec::simple(0, 10, 10, 8, 3))
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn peak_activations_considers_compute_layers() {
+        let net = tiny();
+        assert!(net.peak_layer_activations() >= 3 * 10 * 10);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(tiny().to_string().contains("tiny"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Dense tensors in `CHW` / `KCHW` layout used by the reference (golden) model.
+//!
+//! The simulators themselves only need layer *shapes* and value *statistics*;
+//! these tensors exist so that the bit-serial functional model and the dynamic
+//! precision detectors can be validated against a straightforward integer
+//! implementation of convolution and matrix-vector products.
+
+use std::fmt;
+
+/// Error produced when constructing or reshaping a tensor with inconsistent
+/// dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: usize,
+    actual: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape requires {} elements but {} were provided",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Shape of a 3-D activation tensor: channels × height × width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a new shape.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape3 { c, h, w }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// A 3-D integer tensor in channel-major (`CHW`) layout.
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::tensor::{Shape3, Tensor3};
+/// let mut t = Tensor3::zeros(Shape3::new(2, 3, 3));
+/// t.set(1, 2, 2, 42);
+/// assert_eq!(t.get(1, 2, 2), 42);
+/// assert_eq!(t.get(0, 0, 0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor3 {
+    shape: Shape3,
+    data: Vec<i32>,
+}
+
+impl Tensor3 {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape3) -> Self {
+        Tensor3 {
+            shape,
+            data: vec![0; shape.len()],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not match `shape.len()`.
+    pub fn from_vec(shape: Shape3, data: Vec<i32>) -> Result<Self, ShapeError> {
+        if data.len() != shape.len() {
+            return Err(ShapeError {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor3 { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.shape.c && y < self.shape.h && x < self.shape.w);
+        (c * self.shape.h + y) * self.shape.w + x
+    }
+
+    /// Reads the element at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds (debug builds) or reads an
+    /// unrelated element (release builds); callers are expected to stay in
+    /// bounds.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> i32 {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Reads the element at `(c, y, x)` treating out-of-bounds spatial
+    /// coordinates as zero padding. `y`/`x` are signed to allow negative
+    /// padding offsets.
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> i32 {
+        if y < 0 || x < 0 || y as usize >= self.shape.h || x as usize >= self.shape.w {
+            0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Writes the element at `(c, y, x)`.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: i32) {
+        let idx = self.index(c, y, x);
+        self.data[idx] = value;
+    }
+
+    /// Immutable view of the backing storage in `CHW` order.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage in `CHW` order.
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the backing storage.
+    pub fn into_vec(self) -> Vec<i32> {
+        self.data
+    }
+
+    /// Iterates over all elements in `CHW` order.
+    pub fn iter(&self) -> std::slice::Iter<'_, i32> {
+        self.data.iter()
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place<F: FnMut(i32) -> i32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+/// Shape of a 4-D weight tensor: filters × channels × kernel height × kernel width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Number of filters (output channels).
+    pub k: usize,
+    /// Number of input channels per filter.
+    pub c: usize,
+    /// Kernel height.
+    pub h: usize,
+    /// Kernel width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape.
+    pub fn new(k: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape4 { k, c, h, w }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.k * self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements per filter (the length of each inner product).
+    pub fn per_filter(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.k, self.c, self.h, self.w)
+    }
+}
+
+/// A 4-D integer weight tensor in `KCHW` layout.
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::tensor::{Shape4, Tensor4};
+/// let mut w = Tensor4::zeros(Shape4::new(2, 1, 3, 3));
+/// w.set(1, 0, 1, 1, -7);
+/// assert_eq!(w.get(1, 0, 1, 1), -7);
+/// assert_eq!(w.shape().per_filter(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor4 {
+    shape: Shape4,
+    data: Vec<i32>,
+}
+
+impl Tensor4 {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape4) -> Self {
+        Tensor4 {
+            shape,
+            data: vec![0; shape.len()],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not match `shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<i32>) -> Result<Self, ShapeError> {
+        if data.len() != shape.len() {
+            return Err(ShapeError {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor4 { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn index(&self, k: usize, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(k < self.shape.k && c < self.shape.c && y < self.shape.h && x < self.shape.w);
+        ((k * self.shape.c + c) * self.shape.h + y) * self.shape.w + x
+    }
+
+    /// Reads the element for filter `k`, channel `c`, kernel position `(y, x)`.
+    pub fn get(&self, k: usize, c: usize, y: usize, x: usize) -> i32 {
+        self.data[self.index(k, c, y, x)]
+    }
+
+    /// Writes the element for filter `k`, channel `c`, kernel position `(y, x)`.
+    pub fn set(&mut self, k: usize, c: usize, y: usize, x: usize, value: i32) {
+        let idx = self.index(k, c, y, x);
+        self.data[idx] = value;
+    }
+
+    /// Immutable view of the backing storage in `KCHW` order.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage in `KCHW` order.
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// The flattened weights of a single filter, in `CHW` order.
+    pub fn filter(&self, k: usize) -> &[i32] {
+        let per = self.shape.per_filter();
+        &self.data[k * per..(k + 1) * per]
+    }
+
+    /// Iterates over all elements in `KCHW` order.
+    pub fn iter(&self) -> std::slice::Iter<'_, i32> {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape3_len_and_display() {
+        let s = Shape3::new(3, 4, 5);
+        assert_eq!(s.len(), 60);
+        assert!(!s.is_empty());
+        assert_eq!(s.to_string(), "3x4x5");
+    }
+
+    #[test]
+    fn tensor3_roundtrip_and_layout() {
+        let s = Shape3::new(2, 2, 2);
+        let t = Tensor3::from_vec(s, (0..8).collect()).unwrap();
+        // CHW layout: channel 1 starts at element 4.
+        assert_eq!(t.get(0, 0, 0), 0);
+        assert_eq!(t.get(0, 1, 1), 3);
+        assert_eq!(t.get(1, 0, 0), 4);
+        assert_eq!(t.get(1, 1, 1), 7);
+    }
+
+    #[test]
+    fn tensor3_from_vec_rejects_bad_len() {
+        let err = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "shape requires 4 elements but 3 were provided"
+        );
+    }
+
+    #[test]
+    fn tensor3_padded_reads_zero_outside() {
+        let t = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.get_padded(0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 2), 0);
+        assert_eq!(t.get_padded(0, 1, 1), 4);
+    }
+
+    #[test]
+    fn tensor3_map_in_place() {
+        let mut t = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![-1, 0, 5]).unwrap();
+        t.map_in_place(|v| v.max(0));
+        assert_eq!(t.as_slice(), &[0, 0, 5]);
+    }
+
+    #[test]
+    fn tensor4_layout_and_filter_view() {
+        let s = Shape4::new(2, 1, 2, 2);
+        let w = Tensor4::from_vec(s, (0..8).collect()).unwrap();
+        assert_eq!(w.get(0, 0, 0, 0), 0);
+        assert_eq!(w.get(1, 0, 0, 0), 4);
+        assert_eq!(w.filter(1), &[4, 5, 6, 7]);
+        assert_eq!(w.shape().per_filter(), 4);
+    }
+
+    #[test]
+    fn tensor4_from_vec_rejects_bad_len() {
+        assert!(Tensor4::from_vec(Shape4::new(1, 1, 1, 1), vec![]).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! AlexNet (Krizhevsky et al., 2012): 5 convolutional layers + 3 fully-connected
+//! layers, with the original grouped convolutions in conv2/conv4/conv5.
+
+use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+use crate::network::{Network, NetworkBuilder};
+
+/// Builds the AlexNet descriptor (227×227×3 input).
+pub fn alexnet() -> Network {
+    NetworkBuilder::new("AlexNet")
+        .conv(
+            "conv1",
+            ConvSpec {
+                in_channels: 3,
+                in_height: 227,
+                in_width: 227,
+                filters: 96,
+                kernel_h: 11,
+                kernel_w: 11,
+                stride: 4,
+                padding: 0,
+                groups: 1,
+            },
+        )
+        .max_pool("pool1", PoolSpec::new(96, 55, 55, 3, 2))
+        .conv(
+            "conv2",
+            ConvSpec {
+                in_channels: 96,
+                in_height: 27,
+                in_width: 27,
+                filters: 256,
+                kernel_h: 5,
+                kernel_w: 5,
+                stride: 1,
+                padding: 2,
+                groups: 2,
+            },
+        )
+        .max_pool("pool2", PoolSpec::new(256, 27, 27, 3, 2))
+        .conv(
+            "conv3",
+            ConvSpec {
+                in_channels: 256,
+                in_height: 13,
+                in_width: 13,
+                filters: 384,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        )
+        .conv(
+            "conv4",
+            ConvSpec {
+                in_channels: 384,
+                in_height: 13,
+                in_width: 13,
+                filters: 384,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                groups: 2,
+            },
+        )
+        .conv(
+            "conv5",
+            ConvSpec {
+                in_channels: 384,
+                in_height: 13,
+                in_width: 13,
+                filters: 256,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                groups: 2,
+            },
+        )
+        .max_pool("pool5", PoolSpec::new(256, 13, 13, 3, 2))
+        .fully_connected("fc6", FcSpec::new(256 * 6 * 6, 4096))
+        .fully_connected("fc7", FcSpec::new(4096, 4096))
+        .fully_connected("fc8", FcSpec::new(4096, 1000))
+        .build()
+        .expect("AlexNet geometry is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv1_output_is_55x55() {
+        let net = alexnet();
+        let (_, spec) = net.conv_layers().next().unwrap();
+        assert_eq!(spec.out_height(), 55);
+        assert_eq!(spec.out_width(), 55);
+    }
+
+    #[test]
+    fn conv_mac_total_matches_known_value() {
+        // With grouped conv2/4/5, AlexNet's convolutional MACs are ~0.67 G.
+        let net = alexnet();
+        let gmacs = net.conv_macs() as f64 / 1e9;
+        assert!((0.6..0.75).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn fc_mac_total_matches_known_value() {
+        // 9216*4096 + 4096*4096 + 4096*1000 ≈ 58.6 M.
+        let net = alexnet();
+        assert_eq!(net.fc_macs(), 9216 * 4096 + 4096 * 4096 + 4096 * 1000);
+    }
+
+    #[test]
+    fn fc6_input_matches_pool5_output() {
+        let net = alexnet();
+        let (_, fc6) = net.fc_layers().next().unwrap();
+        assert_eq!(fc6.in_features, 256 * 6 * 6);
+    }
+}

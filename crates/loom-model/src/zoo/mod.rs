@@ -1,0 +1,145 @@
+//! The network zoo: architecture descriptors of the six image-classification
+//! CNNs the Loom paper evaluates (Table 1): NiN, AlexNet, GoogLeNet, VGG-S,
+//! VGG-M and VGG-19.
+//!
+//! Only layer *geometry* is described here — shapes, strides, padding — which
+//! is everything the cycle, memory and energy models need. Weights and
+//! activations are synthesized separately (see [`crate::synthetic`]) with
+//! bit-statistics calibrated to the paper's published precision profiles.
+//!
+//! GoogLeNet is described at the same granularity the paper uses for its
+//! precision profile: 11 convolutional entries (the stem convolutions plus one
+//! aggregate entry per inception module). Each aggregate entry is an
+//! "equivalent convolution" whose MAC count approximates the module's total;
+//! this keeps the Table 1 profile ↔ layer mapping one-to-one (see `DESIGN.md`).
+
+mod alexnet;
+mod googlenet;
+mod nin;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use googlenet::googlenet;
+pub use nin::nin;
+pub use vgg::{vgg19, vgg_m, vgg_s};
+
+use crate::network::Network;
+
+/// Canonical names of the evaluated networks, in the order the paper's tables
+/// list them.
+pub const NETWORK_NAMES: [&str; 6] = ["NiN", "AlexNet", "GoogLeNet", "VGGS", "VGGM", "VGG19"];
+
+/// Returns the network with the given (case-insensitive) name, if it is one of
+/// the six evaluated networks.
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::zoo;
+/// let net = zoo::by_name("alexnet").unwrap();
+/// assert_eq!(net.conv_layers().count(), 5);
+/// assert!(zoo::by_name("resnet50").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "nin" => Some(nin()),
+        "alexnet" => Some(alexnet()),
+        "googlenet" | "google" => Some(googlenet()),
+        "vggs" | "vgg-s" => Some(vgg_s()),
+        "vggm" | "vgg-m" => Some(vgg_m()),
+        "vgg19" | "vgg-19" => Some(vgg19()),
+        _ => None,
+    }
+}
+
+/// Returns all six evaluated networks in table order.
+pub fn all() -> Vec<Network> {
+    NETWORK_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("canonical names always resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_returns_six_networks_in_table_order() {
+        let nets = all();
+        assert_eq!(nets.len(), 6);
+        let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(names, NETWORK_NAMES.to_vec());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_accepts_aliases() {
+        assert!(by_name("ALEXNET").is_some());
+        assert!(by_name("Google").is_some());
+        assert!(by_name("vgg-19").is_some());
+        assert!(by_name("lenet").is_none());
+    }
+
+    /// Conv-layer counts must match the number of per-layer activation
+    /// precision entries in Table 1 of the paper.
+    #[test]
+    fn conv_layer_counts_match_table1() {
+        let expected = [
+            ("NiN", 12),
+            ("AlexNet", 5),
+            ("GoogLeNet", 11),
+            ("VGGS", 5),
+            ("VGGM", 5),
+            ("VGG19", 16),
+        ];
+        for (name, count) in expected {
+            let net = by_name(name).unwrap();
+            assert_eq!(net.conv_layers().count(), count, "{name}");
+        }
+    }
+
+    /// FC-layer counts must match the number of per-layer FC weight precision
+    /// entries in Table 1 (NiN has none, GoogLeNet has one, the rest three).
+    #[test]
+    fn fc_layer_counts_match_table1() {
+        let expected = [
+            ("NiN", 0),
+            ("AlexNet", 3),
+            ("GoogLeNet", 1),
+            ("VGGS", 3),
+            ("VGGM", 3),
+            ("VGG19", 3),
+        ];
+        for (name, count) in expected {
+            let net = by_name(name).unwrap();
+            assert_eq!(net.fc_layers().count(), count, "{name}");
+        }
+    }
+
+    /// Sanity: every network's total compute is in the gigamac range and VGG-19
+    /// is by far the largest, as in the original models.
+    #[test]
+    fn mac_totals_are_plausible() {
+        for net in all() {
+            let gmacs = net.total_macs() as f64 / 1e9;
+            assert!(gmacs > 0.3 && gmacs < 25.0, "{}: {gmacs} GMACs", net.name());
+        }
+        let vgg19 = by_name("VGG19").unwrap().total_macs();
+        for other in ["NiN", "AlexNet", "GoogLeNet", "VGGS", "VGGM"] {
+            assert!(
+                vgg19 > by_name(other).unwrap().total_macs(),
+                "VGG19 vs {other}"
+            );
+        }
+    }
+
+    /// Every compute layer validates and has non-zero MACs.
+    #[test]
+    fn every_compute_layer_is_valid() {
+        for net in all() {
+            for layer in net.compute_layers() {
+                assert!(layer.macs() > 0, "{}:{}", net.name(), layer.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Network-in-Network (Lin et al., 2014), ImageNet configuration: four blocks of
+//! a spatial convolution followed by two 1×1 "cccp" convolutions, with no
+//! fully-connected layers (Table 1 lists 12 convolutional precision entries and
+//! `N/A` for FCLs).
+
+use crate::layer::{ConvSpec, PoolSpec};
+use crate::network::{Network, NetworkBuilder};
+
+/// Builds the NiN descriptor (224×224×3 input).
+pub fn nin() -> Network {
+    NetworkBuilder::new("NiN")
+        // Block 1 on 224x224.
+        .conv(
+            "conv1",
+            ConvSpec {
+                in_channels: 3,
+                in_height: 224,
+                in_width: 224,
+                filters: 96,
+                kernel_h: 11,
+                kernel_w: 11,
+                stride: 4,
+                padding: 0,
+                groups: 1,
+            },
+        )
+        .conv("cccp1", ConvSpec::simple(96, 54, 54, 96, 1))
+        .conv("cccp2", ConvSpec::simple(96, 54, 54, 96, 1))
+        .max_pool("pool1", PoolSpec::new(96, 54, 54, 2, 2))
+        // Block 2 on 27x27.
+        .conv(
+            "conv2",
+            ConvSpec {
+                in_channels: 96,
+                in_height: 27,
+                in_width: 27,
+                filters: 256,
+                kernel_h: 5,
+                kernel_w: 5,
+                stride: 1,
+                padding: 2,
+                groups: 1,
+            },
+        )
+        .conv("cccp3", ConvSpec::simple(256, 27, 27, 256, 1))
+        .conv("cccp4", ConvSpec::simple(256, 27, 27, 256, 1))
+        .max_pool("pool2", PoolSpec::new(256, 27, 27, 3, 2))
+        // Block 3 on 13x13.
+        .conv(
+            "conv3",
+            ConvSpec {
+                in_channels: 256,
+                in_height: 13,
+                in_width: 13,
+                filters: 384,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        )
+        .conv("cccp5", ConvSpec::simple(384, 13, 13, 384, 1))
+        .conv("cccp6", ConvSpec::simple(384, 13, 13, 384, 1))
+        .max_pool("pool3", PoolSpec::new(384, 13, 13, 3, 2))
+        // Block 4 on 6x6.
+        .conv(
+            "conv4",
+            ConvSpec {
+                in_channels: 384,
+                in_height: 6,
+                in_width: 6,
+                filters: 1024,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        )
+        .conv("cccp7", ConvSpec::simple(1024, 6, 6, 1024, 1))
+        .conv("cccp8", ConvSpec::simple(1024, 6, 6, 1000, 1))
+        .build()
+        .expect("NiN geometry is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_twelve_conv_layers_and_no_fc() {
+        let net = nin();
+        assert_eq!(net.conv_layers().count(), 12);
+        assert_eq!(net.fc_layers().count(), 0);
+        assert_eq!(net.fc_macs(), 0);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // The ImageNet NiN is roughly 1.1 GMACs.
+        let gmacs = nin().total_macs() as f64 / 1e9;
+        assert!((0.7..1.6).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn final_layer_produces_1000_channels() {
+        let net = nin();
+        let (_, last) = net.conv_layers().last().unwrap();
+        assert_eq!(last.filters, 1000);
+    }
+}

@@ -1,0 +1,185 @@
+//! The three VGG variants the paper evaluates: VGG-S and VGG-M from Chatfield
+//! et al. ("Return of the Devil in the Details", 2014) and the 19-layer VGG-19
+//! from Simonyan & Zisserman (2015).
+
+use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+use crate::network::{Network, NetworkBuilder};
+
+fn conv3(in_c: usize, size: usize, out_c: usize) -> ConvSpec {
+    ConvSpec {
+        in_channels: in_c,
+        in_height: size,
+        in_width: size,
+        filters: out_c,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+    }
+}
+
+/// Builds the VGG-M descriptor (224×224×3 input): 5 convolutional + 3
+/// fully-connected layers with a 7×7 stride-2 stem.
+pub fn vgg_m() -> Network {
+    NetworkBuilder::new("VGGM")
+        .conv(
+            "conv1",
+            ConvSpec {
+                in_channels: 3,
+                in_height: 224,
+                in_width: 224,
+                filters: 96,
+                kernel_h: 7,
+                kernel_w: 7,
+                stride: 2,
+                padding: 0,
+                groups: 1,
+            },
+        )
+        .max_pool("pool1", PoolSpec::new(96, 109, 109, 2, 2))
+        .conv(
+            "conv2",
+            ConvSpec {
+                in_channels: 96,
+                in_height: 54,
+                in_width: 54,
+                filters: 256,
+                kernel_h: 5,
+                kernel_w: 5,
+                stride: 2,
+                padding: 1,
+                groups: 1,
+            },
+        )
+        .max_pool("pool2", PoolSpec::new(256, 26, 26, 2, 2))
+        .conv("conv3", conv3(256, 13, 512))
+        .conv("conv4", conv3(512, 13, 512))
+        .conv("conv5", conv3(512, 13, 512))
+        .max_pool("pool5", PoolSpec::new(512, 13, 13, 2, 2))
+        .fully_connected("fc6", FcSpec::new(512 * 6 * 6, 4096))
+        .fully_connected("fc7", FcSpec::new(4096, 4096))
+        .fully_connected("fc8", FcSpec::new(4096, 1000))
+        .build()
+        .expect("VGG-M geometry is valid")
+}
+
+/// Builds the VGG-S descriptor (224×224×3 input): the "slow" variant with a
+/// stride-2 stem and larger intermediate feature maps than VGG-M.
+pub fn vgg_s() -> Network {
+    NetworkBuilder::new("VGGS")
+        .conv(
+            "conv1",
+            ConvSpec {
+                in_channels: 3,
+                in_height: 224,
+                in_width: 224,
+                filters: 96,
+                kernel_h: 7,
+                kernel_w: 7,
+                stride: 2,
+                padding: 0,
+                groups: 1,
+            },
+        )
+        .max_pool("pool1", PoolSpec::new(96, 109, 109, 3, 3))
+        .conv(
+            "conv2",
+            ConvSpec {
+                in_channels: 96,
+                in_height: 36,
+                in_width: 36,
+                filters: 256,
+                kernel_h: 5,
+                kernel_w: 5,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        )
+        .max_pool("pool2", PoolSpec::new(256, 34, 34, 2, 2))
+        .conv("conv3", conv3(256, 17, 512))
+        .conv("conv4", conv3(512, 17, 512))
+        .conv("conv5", conv3(512, 17, 512))
+        .max_pool("pool5", PoolSpec::new(512, 17, 17, 3, 3))
+        .fully_connected("fc6", FcSpec::new(512 * 6 * 6, 4096))
+        .fully_connected("fc7", FcSpec::new(4096, 4096))
+        .fully_connected("fc8", FcSpec::new(4096, 1000))
+        .build()
+        .expect("VGG-S geometry is valid")
+}
+
+/// Builds the VGG-19 descriptor (224×224×3 input): 16 3×3 convolutional layers
+/// in five blocks plus 3 fully-connected layers.
+pub fn vgg19() -> Network {
+    let mut b = NetworkBuilder::new("VGG19");
+    // (block, input size, in channels, out channels, convs in block)
+    let blocks = [
+        (1usize, 224usize, 3usize, 64usize, 2usize),
+        (2, 112, 64, 128, 2),
+        (3, 56, 128, 256, 4),
+        (4, 28, 256, 512, 4),
+        (5, 14, 512, 512, 4),
+    ];
+    for (block, size, in_c, out_c, convs) in blocks {
+        for i in 1..=convs {
+            let input_channels = if i == 1 { in_c } else { out_c };
+            b = b.conv(
+                format!("conv{block}_{i}"),
+                conv3(input_channels, size, out_c),
+            );
+        }
+        b = b.max_pool(
+            format!("pool{block}"),
+            PoolSpec::new(out_c, size, size, 2, 2),
+        );
+    }
+    b.fully_connected("fc6", FcSpec::new(512 * 7 * 7, 4096))
+        .fully_connected("fc7", FcSpec::new(4096, 4096))
+        .fully_connected("fc8", FcSpec::new(4096, 1000))
+        .build()
+        .expect("VGG-19 geometry is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg19_has_sixteen_convs_and_three_fcs() {
+        let net = vgg19();
+        assert_eq!(net.conv_layers().count(), 16);
+        assert_eq!(net.fc_layers().count(), 3);
+    }
+
+    #[test]
+    fn vgg19_conv_macs_match_known_value() {
+        // VGG-19's convolutional compute is ~19.5 GMACs.
+        let gmacs = vgg19().conv_macs() as f64 / 1e9;
+        assert!((18.0..21.0).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn vgg19_fc_macs_match_known_value() {
+        let net = vgg19();
+        assert_eq!(
+            net.fc_macs(),
+            (512 * 7 * 7 * 4096 + 4096 * 4096 + 4096 * 1000) as u64
+        );
+    }
+
+    #[test]
+    fn vggm_and_vggs_have_five_convs_three_fcs() {
+        for net in [vgg_m(), vgg_s()] {
+            assert_eq!(net.conv_layers().count(), 5, "{}", net.name());
+            assert_eq!(net.fc_layers().count(), 3, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn vggs_is_heavier_than_vggm_in_conv_compute() {
+        // VGG-S keeps larger feature maps (stride-1 conv2), so its conv MACs
+        // exceed VGG-M's — the same ordering as the original models.
+        assert!(vgg_s().conv_macs() > vgg_m().conv_macs());
+    }
+}

@@ -1,0 +1,157 @@
+//! Dynamic per-group activation precision detection (Lascorz et al.,
+//! "Dynamic Stripes"), as adopted by Loom: "LM determines [and] adjusts
+//! precision per group of 256 activations that it processes concurrently. Per
+//! bit position OR trees produce a 16-bit vector indicating the positions where
+//! any of the activations has a 1. A leading one detector identifies the most
+//! significant position and thus the precision in bits that is sufficient."
+//!
+//! This module is a software model of exactly that hardware: an OR-reduction
+//! across the group followed by a leading-one detector, plus helpers to apply
+//! it over whole layers.
+
+use loom_model::fixed::{required_precision, unsigned_bits, Precision};
+
+/// Number of activations Loom processes concurrently and therefore the group
+/// size over which it detects precision at runtime (16 windows × 16 activation
+/// lanes for the "128" configuration).
+pub const ACTIVATION_GROUP: usize = 256;
+
+/// OR-reduces the magnitudes of a group of non-negative activations into the
+/// per-bit-position vector the hardware's OR trees produce.
+///
+/// # Examples
+///
+/// ```
+/// use loom_precision::dynamic::or_reduce;
+/// assert_eq!(or_reduce(&[0b0001, 0b0100]), 0b0101);
+/// assert_eq!(or_reduce(&[]), 0);
+/// ```
+pub fn or_reduce(values: &[i32]) -> u16 {
+    values
+        .iter()
+        .fold(0u16, |acc, &v| acc | (v.max(0) as u32 & 0xFFFF) as u16)
+}
+
+/// Detects the precision sufficient for a group of non-negative (post-ReLU)
+/// activations: the position of the leading one in the OR-reduced vector.
+///
+/// Returns 1 bit for an all-zero group (the hardware still spends one cycle).
+pub fn detect_group_precision(values: &[i32]) -> Precision {
+    let vector = or_reduce(values);
+    Precision::saturating(unsigned_bits(u32::from(vector)))
+}
+
+/// Detects the precision sufficient for a group of possibly-negative
+/// activations (e.g. the signed network input layer): the two's-complement
+/// width of the widest value.
+pub fn detect_group_precision_signed(values: &[i32]) -> Precision {
+    required_precision(values)
+}
+
+/// Splits `values` into consecutive groups of `group_size` (the last group may
+/// be shorter) and detects the precision of each.
+///
+/// # Panics
+///
+/// Panics if `group_size` is zero.
+pub fn group_precisions(values: &[i32], group_size: usize) -> Vec<Precision> {
+    assert!(group_size > 0, "group size must be non-zero");
+    values
+        .chunks(group_size)
+        .map(detect_group_precision)
+        .collect()
+}
+
+/// Average number of bits over a set of detected group precisions.
+pub fn average_bits(precisions: &[Precision]) -> f64 {
+    if precisions.is_empty() {
+        return 0.0;
+    }
+    precisions.iter().map(|p| f64::from(p.bits())).sum::<f64>() / precisions.len() as f64
+}
+
+/// The effective (group-averaged) activation precision of a whole layer's
+/// activation values using the hardware group size of 256.
+pub fn layer_effective_activation_bits(values: &[i32]) -> f64 {
+    average_bits(&group_precisions(values, ACTIVATION_GROUP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::fixed::truncate_to_precision;
+
+    #[test]
+    fn or_reduce_matches_manual() {
+        assert_eq!(or_reduce(&[1, 2, 4, 8]), 0b1111);
+        assert_eq!(or_reduce(&[0, 0, 0]), 0);
+        // Negative values (should not occur post-ReLU) are treated as zero.
+        assert_eq!(or_reduce(&[-5, 3]), 3);
+    }
+
+    #[test]
+    fn detect_group_precision_is_leading_one_position() {
+        assert_eq!(detect_group_precision(&[0, 0]).bits(), 1);
+        assert_eq!(detect_group_precision(&[1]).bits(), 1);
+        assert_eq!(detect_group_precision(&[2]).bits(), 2);
+        assert_eq!(detect_group_precision(&[5, 200, 3]).bits(), 8);
+        assert_eq!(detect_group_precision(&[1 << 15]).bits(), 16);
+    }
+
+    #[test]
+    fn detection_is_lossless() {
+        // Keeping only the detected number of magnitude bits must not change
+        // any value in the group: this is the safety property of dynamic
+        // reduction (post-ReLU activations are unsigned).
+        let groups: [&[i32]; 3] = [&[0, 1, 5, 9], &[255, 3, 128], &[1023, 0, 0, 7]];
+        for g in groups {
+            let p = detect_group_precision(g);
+            for &v in g {
+                let mask = if p.bits() >= 31 {
+                    !0u32
+                } else {
+                    (1u32 << p.bits()) - 1
+                };
+                assert_eq!((v as u32) & mask, v as u32, "value {v} at {p}");
+            }
+        }
+        // For signed groups the two's-complement truncation is the identity.
+        let signed: &[i32] = &[-100, 37, -5];
+        let p = detect_group_precision_signed(signed);
+        for &v in signed {
+            assert_eq!(truncate_to_precision(v, p), v, "value {v} at {p}");
+        }
+    }
+
+    #[test]
+    fn signed_detection_covers_negative_values() {
+        assert_eq!(detect_group_precision_signed(&[-128, 5]).bits(), 8);
+        assert_eq!(detect_group_precision_signed(&[-1, 0]).bits(), 1);
+    }
+
+    #[test]
+    fn group_precisions_chunks_correctly() {
+        let values = vec![1, 1, 1, 1, 200, 1, 1, 1, 3];
+        let ps = group_precisions(&values, 4);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].bits(), 1);
+        assert_eq!(ps[1].bits(), 8);
+        assert_eq!(ps[2].bits(), 2);
+        assert!((average_bits(&ps) - (1.0 + 8.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_bits_of_empty_is_zero() {
+        assert_eq!(average_bits(&[]), 0.0);
+    }
+
+    #[test]
+    fn layer_effective_bits_below_layer_maximum_for_skewed_values() {
+        // A layer where only one group holds a large value: the average
+        // effective precision is far below the layer-wide requirement.
+        let mut values = vec![1i32; 1024];
+        values[0] = 1 << 12;
+        let effective = layer_effective_activation_bits(&values);
+        assert!(effective < 5.0, "got {effective}");
+    }
+}

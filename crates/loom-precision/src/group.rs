@@ -1,0 +1,84 @@
+//! Per-group weight precisions (§4.6 of the paper, following Delmas et al.,
+//! "DPRed"): instead of one weight precision per network or per layer, the
+//! precision is detected for every group of 16 weights that occupies one SIP's
+//! weight registers. The per-group precisions "can be detected at runtime
+//! similarly to the activation precisions, or can be detected statically and
+//! communicated via per group metadata".
+
+use loom_model::fixed::{required_precision, Precision};
+
+/// Number of weights a SIP holds concurrently (its 16 one-bit weight
+/// registers), and therefore the group size for per-group weight precisions.
+pub const WEIGHT_GROUP: usize = 16;
+
+/// Detects the precision of each consecutive group of `group_size` signed
+/// weights.
+///
+/// # Panics
+///
+/// Panics if `group_size` is zero.
+pub fn weight_group_precisions(weights: &[i32], group_size: usize) -> Vec<Precision> {
+    assert!(group_size > 0, "group size must be non-zero");
+    weights.chunks(group_size).map(required_precision).collect()
+}
+
+/// The average effective weight precision of a layer for groups of
+/// [`WEIGHT_GROUP`] weights — the quantity Table 3 of the paper reports.
+pub fn layer_effective_weight_bits(weights: &[i32]) -> f64 {
+    let groups = weight_group_precisions(weights, WEIGHT_GROUP);
+    if groups.is_empty() {
+        return 0.0;
+    }
+    groups.iter().map(|p| f64::from(p.bits())).sum::<f64>() / groups.len() as f64
+}
+
+/// Per-group metadata overhead in bits: communicating one 4-bit precision per
+/// group of `group_size` weights (the static-detection option the paper
+/// mentions). Returned as bits of metadata per weight.
+pub fn metadata_overhead_bits_per_weight(group_size: usize) -> f64 {
+    assert!(group_size > 0, "group size must be non-zero");
+    4.0 / group_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::fixed::signed_bits;
+    use loom_model::synthetic::{synthetic_weights, ValueDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_precisions_reflect_group_maxima() {
+        let mut weights = vec![1i32; 32];
+        weights[20] = -200; // second group needs 9 bits
+        let groups = weight_group_precisions(&weights, 16);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].bits(), 2);
+        assert_eq!(groups[1].bits(), signed_bits(-200));
+    }
+
+    #[test]
+    fn effective_bits_below_nominal_for_synthetic_weights() {
+        // The whole point of per-group precisions: most groups need far fewer
+        // bits than the layer-wide profile precision, as in Table 3 where
+        // effective precisions of 5-10 bits are reported against nominal 10-12.
+        let mut rng = StdRng::seed_from_u64(5);
+        let nominal = Precision::new(11).unwrap();
+        let weights = synthetic_weights(&mut rng, 16 * 1024, nominal, ValueDistribution::weights());
+        let effective = layer_effective_weight_bits(&weights);
+        assert!(effective < 11.0, "effective {effective} not below nominal");
+        assert!(effective > 3.0, "effective {effective} implausibly low");
+    }
+
+    #[test]
+    fn effective_bits_of_empty_layer_is_zero() {
+        assert_eq!(layer_effective_weight_bits(&[]), 0.0);
+    }
+
+    #[test]
+    fn metadata_overhead_shrinks_with_group_size() {
+        assert!(metadata_overhead_bits_per_weight(16) < metadata_overhead_bits_per_weight(4));
+        assert!((metadata_overhead_bits_per_weight(16) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-network precision profiles.
+//!
+//! A [`NetworkProfile`] captures exactly what Table 1 of the paper reports for
+//! each network: one activation precision per convolutional layer, a single
+//! weight precision shared by all convolutional layers, and one weight
+//! precision per fully-connected layer. Profiles exist for two accuracy
+//! targets: no accuracy loss ("100%") and a 1% relative top-1 loss ("99%").
+
+use loom_model::network::Network;
+use loom_model::Precision;
+use std::fmt;
+
+/// The accuracy constraint under which a profile was derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccuracyTarget {
+    /// No loss in top-1 accuracy relative to the 16-bit baseline.
+    Lossless,
+    /// At most a 1% relative top-1 accuracy loss ("99%" profiles).
+    Relative99,
+}
+
+impl fmt::Display for AccuracyTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccuracyTarget::Lossless => write!(f, "100%"),
+            AccuracyTarget::Relative99 => write!(f, "99%"),
+        }
+    }
+}
+
+/// Error produced when a profile does not line up with a network's layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileMismatch {
+    /// The network name.
+    pub network: String,
+    /// Description of what did not match.
+    pub detail: String,
+}
+
+impl fmt::Display for ProfileMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile does not match network {}: {}",
+            self.network, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ProfileMismatch {}
+
+/// A per-network precision profile, mirroring one row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkProfile {
+    /// Network name (matches [`loom_model::zoo`] names).
+    pub network: String,
+    /// Accuracy target the profile was derived for.
+    pub target: AccuracyTarget,
+    /// Activation precision of each convolutional layer, in layer order.
+    pub conv_activations: Vec<Precision>,
+    /// Weight precision shared by all convolutional layers ("network precision
+    /// of weights" in the paper's wording).
+    pub conv_weight: Precision,
+    /// Weight precision of each fully-connected layer, in layer order (empty
+    /// for networks without FCLs, e.g. NiN).
+    pub fc_weights: Vec<Precision>,
+}
+
+impl NetworkProfile {
+    /// Activation precision for convolutional layer `index` (0-based, counting
+    /// only convolutional layers).
+    pub fn conv_activation(&self, index: usize) -> Precision {
+        self.conv_activations
+            .get(index)
+            .copied()
+            .unwrap_or(Precision::FULL)
+    }
+
+    /// Weight precision for fully-connected layer `index` (0-based, counting
+    /// only fully-connected layers).
+    pub fn fc_weight(&self, index: usize) -> Precision {
+        self.fc_weights
+            .get(index)
+            .copied()
+            .unwrap_or(Precision::FULL)
+    }
+
+    /// Activation precision used for fully-connected layers. The paper's FCL
+    /// profiles only constrain weights; activations stay at the full 16 bits
+    /// because trimming them cannot improve FCL performance (§2).
+    pub fn fc_activation(&self) -> Precision {
+        Precision::FULL
+    }
+
+    /// Checks that the profile has exactly one activation entry per
+    /// convolutional layer and one weight entry per fully-connected layer of
+    /// `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileMismatch`] describing the first inconsistency found.
+    pub fn validate_against(&self, network: &Network) -> Result<(), ProfileMismatch> {
+        let convs = network.conv_layers().count();
+        let fcs = network.fc_layers().count();
+        if convs != self.conv_activations.len() {
+            return Err(ProfileMismatch {
+                network: self.network.clone(),
+                detail: format!(
+                    "{} conv layers but {} activation precisions",
+                    convs,
+                    self.conv_activations.len()
+                ),
+            });
+        }
+        if fcs != self.fc_weights.len() {
+            return Err(ProfileMismatch {
+                network: self.network.clone(),
+                detail: format!(
+                    "{} fc layers but {} weight precisions",
+                    fcs,
+                    self.fc_weights.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// MAC-weighted average activation precision over the convolutional
+    /// layers, a useful summary statistic when comparing against the paper.
+    pub fn mean_conv_activation(&self, network: &Network) -> f64 {
+        let mut weighted = 0.0f64;
+        let mut total = 0.0f64;
+        for (i, (layer, _)) in network.conv_layers().enumerate() {
+            let macs = layer.macs() as f64;
+            weighted += macs * f64::from(self.conv_activation(i).bits());
+            total += macs;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+}
+
+/// Convenience constructor used by the embedded tables: builds a profile from
+/// raw bit counts.
+///
+/// # Panics
+///
+/// Panics if any bit count is outside `1..=16`.
+pub fn profile_from_bits(
+    network: &str,
+    target: AccuracyTarget,
+    conv_activations: &[u8],
+    conv_weight: u8,
+    fc_weights: &[u8],
+) -> NetworkProfile {
+    let to_prec = |b: &u8| Precision::new(*b).expect("profile bit widths are 1..=16");
+    NetworkProfile {
+        network: network.to_string(),
+        target,
+        conv_activations: conv_activations.iter().map(to_prec).collect(),
+        conv_weight: Precision::new(conv_weight).expect("profile bit widths are 1..=16"),
+        fc_weights: fc_weights.iter().map(to_prec).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::zoo;
+
+    #[test]
+    fn profile_lookup_defaults_to_full_precision() {
+        let p = profile_from_bits("X", AccuracyTarget::Lossless, &[5, 6], 11, &[9]);
+        assert_eq!(p.conv_activation(0).bits(), 5);
+        assert_eq!(p.conv_activation(7).bits(), 16);
+        assert_eq!(p.fc_weight(0).bits(), 9);
+        assert_eq!(p.fc_weight(3).bits(), 16);
+        assert_eq!(p.fc_activation().bits(), 16);
+    }
+
+    #[test]
+    fn validate_detects_wrong_layer_counts() {
+        let net = zoo::alexnet();
+        let good = profile_from_bits(
+            "AlexNet",
+            AccuracyTarget::Lossless,
+            &[9, 8, 5, 5, 7],
+            11,
+            &[10, 9, 9],
+        );
+        assert!(good.validate_against(&net).is_ok());
+        let bad = profile_from_bits(
+            "AlexNet",
+            AccuracyTarget::Lossless,
+            &[9, 8],
+            11,
+            &[10, 9, 9],
+        );
+        let err = bad.validate_against(&net).unwrap_err();
+        assert!(err.to_string().contains("conv layers"));
+    }
+
+    #[test]
+    fn mean_conv_activation_is_mac_weighted() {
+        let net = zoo::alexnet();
+        let p = profile_from_bits(
+            "AlexNet",
+            AccuracyTarget::Lossless,
+            &[9, 8, 5, 5, 7],
+            11,
+            &[10, 9, 9],
+        );
+        let mean = p.mean_conv_activation(&net);
+        assert!(mean > 5.0 && mean < 9.0, "got {mean}");
+    }
+
+    #[test]
+    fn accuracy_target_display() {
+        assert_eq!(AccuracyTarget::Lossless.to_string(), "100%");
+        assert_eq!(AccuracyTarget::Relative99.to_string(), "99%");
+    }
+}

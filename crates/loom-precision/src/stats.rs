@@ -1,0 +1,205 @@
+//! Bit-length statistics of value populations.
+//!
+//! The per-group precision mechanisms (runtime activation detection, per-group
+//! weight metadata) work because the *distribution* of bit-lengths in real
+//! tensors is heavily skewed toward small values. This module measures that
+//! distribution — a histogram of how many values need 1, 2, …, 16 bits — and
+//! derives from it the quantity the hardware actually experiences: the
+//! expected precision of the maximum over a group of `n` values. That is the
+//! analytical bridge between a value distribution (measured or synthetic) and
+//! the effective precisions reported in Table 3 / used by the cycle models'
+//! `Scaled` precision source.
+
+use loom_model::fixed::{signed_bits, unsigned_bits, Precision, MAX_PRECISION};
+
+/// Histogram of bit-lengths over a population of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitLengthHistogram {
+    counts: [u64; MAX_PRECISION as usize],
+    total: u64,
+}
+
+impl BitLengthHistogram {
+    /// Builds the histogram of signed two's-complement bit-lengths (weights).
+    pub fn of_signed(values: &[i32]) -> Self {
+        Self::build(values.iter().map(|&v| signed_bits(v)))
+    }
+
+    /// Builds the histogram of unsigned magnitude bit-lengths (post-ReLU
+    /// activations).
+    pub fn of_unsigned(values: &[i32]) -> Self {
+        Self::build(values.iter().map(|&v| unsigned_bits(v.max(0) as u32)))
+    }
+
+    fn build(bit_lengths: impl Iterator<Item = u8>) -> Self {
+        let mut counts = [0u64; MAX_PRECISION as usize];
+        let mut total = 0u64;
+        for bits in bit_lengths {
+            let idx = bits.clamp(1, MAX_PRECISION) as usize - 1;
+            counts[idx] += 1;
+            total += 1;
+        }
+        BitLengthHistogram { counts, total }
+    }
+
+    /// Number of values in the population.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of values that need exactly `bits` bits.
+    pub fn count(&self, bits: u8) -> u64 {
+        if (1..=MAX_PRECISION).contains(&bits) {
+            self.counts[bits as usize - 1]
+        } else {
+            0
+        }
+    }
+
+    /// Fraction of values that need at most `bits` bits (the CDF).
+    pub fn cumulative_fraction(&self, bits: u8) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let upto: u64 = (1..=bits.min(MAX_PRECISION))
+            .map(|b| self.counts[b as usize - 1])
+            .sum();
+        upto as f64 / self.total as f64
+    }
+
+    /// Mean bit-length of a single value.
+    pub fn mean_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// The smallest precision that covers every value in the population.
+    pub fn max_bits(&self) -> Precision {
+        let bits = (1..=MAX_PRECISION)
+            .rev()
+            .find(|&b| self.counts[b as usize - 1] > 0)
+            .unwrap_or(1);
+        Precision::saturating(bits)
+    }
+
+    /// Expected bit-length of the maximum over a group of `group_size` values
+    /// drawn independently from this distribution:
+    /// `E[max] = Σ_b b · (F(b)^n − F(b−1)^n)` where `F` is the CDF.
+    ///
+    /// This is the expected *effective group precision* a per-group detector
+    /// observes, and therefore (divided by the profile precision) the
+    /// `fraction` parameter of the `Scaled` precision source.
+    pub fn expected_group_precision(&self, group_size: usize) -> f64 {
+        if self.total == 0 || group_size == 0 {
+            return 0.0;
+        }
+        let n = group_size as f64;
+        let mut expectation = 0.0;
+        let mut prev_cdf_pow = 0.0f64;
+        for bits in 1..=MAX_PRECISION {
+            let cdf_pow = self.cumulative_fraction(bits).powf(n);
+            expectation += f64::from(bits) * (cdf_pow - prev_cdf_pow);
+            prev_cdf_pow = cdf_pow;
+        }
+        expectation
+    }
+
+    /// The `fraction` of the population's own maximum precision that a
+    /// per-group detector with groups of `group_size` values observes on
+    /// average — directly usable as
+    /// [`crate::trace::GroupPrecisionSource::Scaled`]'s parameter.
+    pub fn scaled_fraction(&self, group_size: usize) -> f64 {
+        let max = f64::from(self.max_bits().bits());
+        if max == 0.0 {
+            return 1.0;
+        }
+        (self.expected_group_precision(group_size) / max).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::WEIGHT_GROUP;
+    use loom_model::synthetic::{synthetic_weights, ValueDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_counts_and_cdf() {
+        // Values needing 1, 2, 2, 4 bits (unsigned).
+        let h = BitLengthHistogram::of_unsigned(&[1, 2, 3, 9]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(3), 0);
+        assert!((h.cumulative_fraction(2) - 0.75).abs() < 1e-12);
+        assert_eq!(h.cumulative_fraction(16), 1.0);
+        assert!((h.mean_bits() - (1.0 + 2.0 + 2.0 + 4.0) / 4.0).abs() < 1e-12);
+        assert_eq!(h.max_bits().bits(), 4);
+    }
+
+    #[test]
+    fn signed_histogram_counts_twos_complement_widths() {
+        let h = BitLengthHistogram::of_signed(&[-1, 0, -128, 127]);
+        assert_eq!(h.count(1), 2); // -1 and 0 both fit in one bit
+        assert_eq!(h.count(8), 2); // -128 and 127 need eight
+    }
+
+    #[test]
+    fn group_expectation_grows_with_group_size_and_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let nominal = Precision::new(11).unwrap();
+        let weights = synthetic_weights(&mut rng, 32 * 1024, nominal, ValueDistribution::weights());
+        let h = BitLengthHistogram::of_signed(&weights);
+        let single = h.expected_group_precision(1);
+        let group16 = h.expected_group_precision(WEIGHT_GROUP);
+        let group256 = h.expected_group_precision(256);
+        assert!((single - h.mean_bits()).abs() < 1e-9);
+        assert!(group16 > single);
+        assert!(group256 > group16);
+        assert!(group256 <= f64::from(h.max_bits().bits()) + 1e-9);
+    }
+
+    #[test]
+    fn expected_group_precision_predicts_the_measured_detector() {
+        // The analytical expectation over groups of 16 must agree with the
+        // empirical per-group detector from `crate::group` to within ~0.3 bits
+        // (values are i.i.d. by construction here).
+        let mut rng = StdRng::seed_from_u64(4);
+        let nominal = Precision::new(11).unwrap();
+        let weights = synthetic_weights(&mut rng, 64 * 1024, nominal, ValueDistribution::weights());
+        let analytical = BitLengthHistogram::of_signed(&weights).expected_group_precision(16);
+        let measured = crate::group::layer_effective_weight_bits(&weights);
+        assert!(
+            (analytical - measured).abs() < 0.3,
+            "analytical {analytical} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn scaled_fraction_is_a_valid_fraction() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights = synthetic_weights(
+            &mut rng,
+            8192,
+            Precision::new(12).unwrap(),
+            ValueDistribution::weights(),
+        );
+        let h = BitLengthHistogram::of_signed(&weights);
+        let f = h.scaled_fraction(256);
+        assert!(f > 0.3 && f <= 1.0, "fraction {f}");
+        // Degenerate empty histogram.
+        let empty = BitLengthHistogram::of_signed(&[]);
+        assert_eq!(empty.expected_group_precision(16), 0.0);
+        assert_eq!(empty.cumulative_fraction(4), 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's Table 1: profile-derived per-layer activation precisions and
+//! per-network weight precisions for the convolutional layers, and per-layer
+//! weight precisions for the fully-connected layers, at the 100% and 99%
+//! relative top-1 accuracy targets.
+//!
+//! These published profiles are embedded verbatim and used as the canonical
+//! inputs to the headline experiments (Table 2, Figure 4, Figure 5); the
+//! profiler in [`crate::profiler`] demonstrates the *method* that produced
+//! them on networks we can actually run.
+
+use crate::profile::{profile_from_bits, AccuracyTarget, NetworkProfile};
+
+/// Returns the Table 1 profile for `network` under `target`, if the network is
+/// one of the six evaluated ones.
+pub fn profile(network: &str, target: AccuracyTarget) -> Option<NetworkProfile> {
+    let canonical = canonical_name(network)?;
+    Some(match (canonical, target) {
+        // ------------------------------------------------------ 100% accuracy
+        ("NiN", AccuracyTarget::Lossless) => profile_from_bits(
+            "NiN",
+            target,
+            &[8, 8, 8, 9, 7, 8, 8, 9, 9, 8, 8, 8],
+            11,
+            &[],
+        ),
+        ("AlexNet", AccuracyTarget::Lossless) => {
+            profile_from_bits("AlexNet", target, &[9, 8, 5, 5, 7], 11, &[10, 9, 9])
+        }
+        ("GoogLeNet", AccuracyTarget::Lossless) => profile_from_bits(
+            "GoogLeNet",
+            target,
+            &[10, 8, 10, 9, 8, 10, 9, 8, 9, 10, 7],
+            11,
+            &[7],
+        ),
+        ("VGGS", AccuracyTarget::Lossless) => {
+            profile_from_bits("VGGS", target, &[7, 8, 9, 7, 9], 12, &[10, 9, 9])
+        }
+        ("VGGM", AccuracyTarget::Lossless) => {
+            profile_from_bits("VGGM", target, &[7, 7, 7, 8, 7], 12, &[10, 8, 8])
+        }
+        ("VGG19", AccuracyTarget::Lossless) => profile_from_bits(
+            "VGG19",
+            target,
+            &[
+                12, 12, 12, 11, 12, 10, 11, 11, 13, 12, 13, 13, 13, 13, 13, 13,
+            ],
+            12,
+            &[10, 9, 9],
+        ),
+        // ------------------------------------------------------- 99% accuracy
+        ("NiN", AccuracyTarget::Relative99) => profile_from_bits(
+            "NiN",
+            target,
+            &[8, 8, 7, 9, 7, 8, 8, 9, 9, 8, 7, 8],
+            10,
+            &[],
+        ),
+        ("AlexNet", AccuracyTarget::Relative99) => {
+            profile_from_bits("AlexNet", target, &[9, 7, 4, 5, 7], 11, &[9, 8, 8])
+        }
+        ("GoogLeNet", AccuracyTarget::Relative99) => profile_from_bits(
+            "GoogLeNet",
+            target,
+            &[10, 8, 9, 8, 8, 9, 10, 8, 9, 10, 8],
+            10,
+            &[7],
+        ),
+        ("VGGS", AccuracyTarget::Relative99) => {
+            profile_from_bits("VGGS", target, &[7, 8, 9, 7, 9], 11, &[9, 9, 8])
+        }
+        ("VGGM", AccuracyTarget::Relative99) => {
+            profile_from_bits("VGGM", target, &[6, 8, 7, 7, 7], 12, &[9, 8, 8])
+        }
+        ("VGG19", AccuracyTarget::Relative99) => profile_from_bits(
+            "VGG19",
+            target,
+            &[9, 9, 9, 8, 12, 10, 10, 12, 13, 11, 12, 13, 13, 13, 13, 13],
+            12,
+            &[10, 9, 8],
+        ),
+        _ => unreachable!("canonical_name only returns the six known networks"),
+    })
+}
+
+/// Returns all Table 1 profiles for the given accuracy target, in the paper's
+/// table order.
+pub fn all_profiles(target: AccuracyTarget) -> Vec<NetworkProfile> {
+    loom_model::zoo::NETWORK_NAMES
+        .iter()
+        .map(|n| profile(n, target).expect("all canonical networks have profiles"))
+        .collect()
+}
+
+fn canonical_name(name: &str) -> Option<&'static str> {
+    match name.to_ascii_lowercase().as_str() {
+        "nin" => Some("NiN"),
+        "alexnet" => Some("AlexNet"),
+        "googlenet" | "google" => Some("GoogLeNet"),
+        "vggs" | "vgg-s" => Some("VGGS"),
+        "vggm" | "vgg-m" => Some("VGGM"),
+        "vgg19" | "vgg-19" => Some("VGG19"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::zoo;
+
+    #[test]
+    fn every_profile_matches_its_network_layer_counts() {
+        for target in [AccuracyTarget::Lossless, AccuracyTarget::Relative99] {
+            for net in zoo::all() {
+                let p = profile(net.name(), target).unwrap();
+                p.validate_against(&net)
+                    .unwrap_or_else(|e| panic!("{target}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_ranges_hold() {
+        // §4.2: lossless CVL activation precisions vary from 5 to 13 bits and
+        // weights from 10 to 12; FCL weight precisions vary from 7 to 10.
+        let profiles = all_profiles(AccuracyTarget::Lossless);
+        let act_min = profiles
+            .iter()
+            .flat_map(|p| p.conv_activations.iter())
+            .map(|p| p.bits())
+            .min()
+            .unwrap();
+        let act_max = profiles
+            .iter()
+            .flat_map(|p| p.conv_activations.iter())
+            .map(|p| p.bits())
+            .max()
+            .unwrap();
+        assert_eq!(act_min, 5);
+        assert_eq!(act_max, 13);
+        for p in &profiles {
+            assert!((10..=12).contains(&p.conv_weight.bits()), "{}", p.network);
+            for fc in &p.fc_weights {
+                assert!((7..=10).contains(&fc.bits()), "{}", p.network);
+            }
+        }
+    }
+
+    #[test]
+    fn ninety_nine_percent_profiles_never_need_more_weight_bits() {
+        for net in zoo::NETWORK_NAMES {
+            let full = profile(net, AccuracyTarget::Lossless).unwrap();
+            let relaxed = profile(net, AccuracyTarget::Relative99).unwrap();
+            assert!(relaxed.conv_weight <= full.conv_weight, "{net}");
+        }
+    }
+
+    #[test]
+    fn unknown_network_returns_none() {
+        assert!(profile("resnet50", AccuracyTarget::Lossless).is_none());
+    }
+
+    #[test]
+    fn all_profiles_in_table_order() {
+        let names: Vec<String> = all_profiles(AccuracyTarget::Lossless)
+            .into_iter()
+            .map(|p| p.network)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["NiN", "AlexNet", "GoogLeNet", "VGGS", "VGGM", "VGG19"]
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Simulation results: per-layer and per-network cycle counts and traffic.
+
+use loom_mem::traffic::{LayerTraffic, StoragePrecision};
+use std::fmt;
+
+/// Which class of layer a simulation record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerClass {
+    /// Convolutional layer (CVL).
+    Conv,
+    /// Fully-connected layer (FCL).
+    FullyConnected,
+    /// Pooling or other non-inner-product layer.
+    Other,
+}
+
+/// The simulated execution of one layer on one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSim {
+    /// Layer name.
+    pub layer_name: String,
+    /// Layer class.
+    pub class: LayerClass,
+    /// Multiply-accumulate operations the layer performs.
+    pub macs: u64,
+    /// Compute cycles the accelerator spends on the layer.
+    pub cycles: u64,
+    /// Fraction of the datapath that was doing useful work, averaged over the
+    /// layer (1.0 = perfectly utilised).
+    pub utilization: f64,
+    /// The precision the accelerator stores this layer's data at (16 bits for
+    /// the baseline; the profile precisions for Loom).
+    pub storage: StoragePrecision,
+    /// Bits moved for the layer at that storage precision.
+    pub traffic: LayerTraffic,
+}
+
+impl LayerSim {
+    /// Whether this is a compute (conv or FC) layer.
+    pub fn is_compute(&self) -> bool {
+        matches!(self.class, LayerClass::Conv | LayerClass::FullyConnected)
+    }
+}
+
+/// The simulated execution of a whole network on one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSim {
+    /// Accelerator name (e.g. `DPNN`, `Loom 1-bit`).
+    pub accelerator: String,
+    /// Network name.
+    pub network: String,
+    /// Per-layer records in network order.
+    pub layers: Vec<LayerSim>,
+}
+
+impl NetworkSim {
+    /// Total compute cycles over all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Compute cycles over the convolutional layers only.
+    pub fn conv_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.class == LayerClass::Conv)
+            .map(|l| l.cycles)
+            .sum()
+    }
+
+    /// Compute cycles over the fully-connected layers only.
+    pub fn fc_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.class == LayerClass::FullyConnected)
+            .map(|l| l.cycles)
+            .sum()
+    }
+
+    /// Total MACs over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total traffic over all layers at the accelerator's storage precisions.
+    pub fn total_traffic(&self) -> LayerTraffic {
+        self.layers
+            .iter()
+            .fold(LayerTraffic::default(), |acc, l| acc.add(&l.traffic))
+    }
+
+    /// MAC-weighted average datapath utilisation.
+    pub fn average_utilization(&self) -> f64 {
+        let total: u64 = self
+            .layers
+            .iter()
+            .filter(|l| l.is_compute())
+            .map(|l| l.macs)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .filter(|l| l.is_compute())
+            .map(|l| l.utilization * l.macs as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Speedup of this run relative to `baseline` over all layers
+    /// (`baseline_cycles / self_cycles`).
+    pub fn speedup_vs(&self, baseline: &NetworkSim) -> f64 {
+        ratio(baseline.total_cycles(), self.total_cycles())
+    }
+
+    /// Speedup over the convolutional layers only.
+    pub fn conv_speedup_vs(&self, baseline: &NetworkSim) -> f64 {
+        ratio(baseline.conv_cycles(), self.conv_cycles())
+    }
+
+    /// Speedup over the fully-connected layers only.
+    pub fn fc_speedup_vs(&self, baseline: &NetworkSim) -> f64 {
+        ratio(baseline.fc_cycles(), self.fc_cycles())
+    }
+}
+
+impl fmt::Display for NetworkSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} cycles ({} layers)",
+            self.network,
+            self.accelerator,
+            self.total_cycles(),
+            self.layers.len()
+        )
+    }
+}
+
+fn ratio(baseline: u64, this: u64) -> f64 {
+    if this == 0 {
+        if baseline == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        baseline as f64 / this as f64
+    }
+}
+
+/// Geometric mean of a slice of positive ratios, the aggregation the paper
+/// uses for its cross-network summaries.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, class: LayerClass, macs: u64, cycles: u64) -> LayerSim {
+        LayerSim {
+            layer_name: name.to_string(),
+            class,
+            macs,
+            cycles,
+            utilization: 1.0,
+            storage: StoragePrecision::baseline(),
+            traffic: LayerTraffic {
+                weight_bits: macs,
+                input_activation_bits: 10,
+                output_activation_bits: 10,
+            },
+        }
+    }
+
+    fn sim(name: &str, cycles: &[(LayerClass, u64)]) -> NetworkSim {
+        NetworkSim {
+            accelerator: name.to_string(),
+            network: "test".to_string(),
+            layers: cycles
+                .iter()
+                .enumerate()
+                .map(|(i, (c, cy))| layer(&format!("l{i}"), *c, 100, *cy))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_split_by_layer_class() {
+        let s = sim(
+            "X",
+            &[
+                (LayerClass::Conv, 100),
+                (LayerClass::FullyConnected, 50),
+                (LayerClass::Other, 0),
+                (LayerClass::Conv, 30),
+            ],
+        );
+        assert_eq!(s.total_cycles(), 180);
+        assert_eq!(s.conv_cycles(), 130);
+        assert_eq!(s.fc_cycles(), 50);
+        assert_eq!(s.total_macs(), 400);
+        assert!(s.to_string().contains("180 cycles"));
+    }
+
+    #[test]
+    fn speedups_are_baseline_over_this() {
+        let dpnn = sim(
+            "DPNN",
+            &[(LayerClass::Conv, 400), (LayerClass::FullyConnected, 100)],
+        );
+        let lm = sim(
+            "LM",
+            &[(LayerClass::Conv, 100), (LayerClass::FullyConnected, 50)],
+        );
+        assert_eq!(lm.speedup_vs(&dpnn), 500.0 / 150.0);
+        assert_eq!(lm.conv_speedup_vs(&dpnn), 4.0);
+        assert_eq!(lm.fc_speedup_vs(&dpnn), 2.0);
+    }
+
+    #[test]
+    fn zero_cycle_ratios_are_well_defined() {
+        let empty = sim("A", &[]);
+        let other = sim("B", &[(LayerClass::Conv, 10)]);
+        assert_eq!(empty.speedup_vs(&empty), 1.0);
+        assert_eq!(empty.fc_speedup_vs(&other), 1.0);
+        assert!(other.speedup_vs(&empty).is_finite() || other.total_cycles() > 0);
+    }
+
+    #[test]
+    fn traffic_accumulates_over_layers() {
+        let s = sim("X", &[(LayerClass::Conv, 1), (LayerClass::Conv, 1)]);
+        assert_eq!(s.total_traffic().weight_bits, 200);
+        assert_eq!(s.total_traffic().total_bits(), 240);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_mac_weighted() {
+        let mut s = sim("X", &[(LayerClass::Conv, 10), (LayerClass::Conv, 10)]);
+        s.layers[0].utilization = 0.5;
+        s.layers[0].macs = 300;
+        s.layers[1].utilization = 1.0;
+        s.layers[1].macs = 100;
+        let u = s.average_utilization();
+        assert!((u - (0.5 * 300.0 + 1.0 * 100.0) / 400.0).abs() < 1e-12);
+    }
+}

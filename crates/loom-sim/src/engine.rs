@@ -1,0 +1,428 @@
+//! The unified simulation front end: one entry point that runs any evaluated
+//! accelerator over any network given a per-layer precision assignment.
+
+use crate::config::{EquivalentConfig, LoomVariant};
+use crate::counts::{LayerClass, LayerSim, NetworkSim};
+use crate::loom::schedule::{conv_schedule, fc_schedule};
+use crate::{dpnn, stripes};
+use loom_mem::traffic::{layer_traffic, StoragePrecision};
+use loom_model::layer::LayerKind;
+use loom_model::network::Network;
+use loom_model::Precision;
+use loom_precision::trace::{GroupPrecisionSource, LayerPrecisionSpec};
+use std::fmt;
+
+/// The accelerators the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceleratorKind {
+    /// The bit-parallel DaDianNao-style baseline.
+    Dpnn,
+    /// Stripes: bit-serial activations with static per-layer precisions,
+    /// convolutional layers only.
+    Stripes,
+    /// Dynamic Stripes: Stripes plus runtime per-group activation precisions.
+    DStripes,
+    /// Loom with the given bits-per-cycle variant.
+    Loom(LoomVariant),
+}
+
+impl AcceleratorKind {
+    /// All accelerators in the order Figure 4 plots them.
+    pub fn all() -> Vec<AcceleratorKind> {
+        vec![
+            AcceleratorKind::Dpnn,
+            AcceleratorKind::Stripes,
+            AcceleratorKind::DStripes,
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            AcceleratorKind::Loom(LoomVariant::Lm2b),
+            AcceleratorKind::Loom(LoomVariant::Lm4b),
+        ]
+    }
+}
+
+impl fmt::Display for AcceleratorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorKind::Dpnn => write!(f, "DPNN"),
+            AcceleratorKind::Stripes => write!(f, "Stripes"),
+            AcceleratorKind::DStripes => write!(f, "DStripes"),
+            AcceleratorKind::Loom(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A per-network precision assignment: one [`LayerPrecisionSpec`] per *compute*
+/// layer, in network order. Non-compute layers (pooling) need no entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionAssignment {
+    specs: Vec<LayerPrecisionSpec>,
+}
+
+impl PrecisionAssignment {
+    /// Creates an assignment from explicit per-compute-layer specs.
+    pub fn new(specs: Vec<LayerPrecisionSpec>) -> Self {
+        PrecisionAssignment { specs }
+    }
+
+    /// An assignment where every layer runs at the full 16 bits.
+    pub fn full_precision(network: &Network) -> Self {
+        PrecisionAssignment {
+            specs: network
+                .compute_layers()
+                .map(|_| LayerPrecisionSpec::full_precision())
+                .collect(),
+        }
+    }
+
+    /// The spec for compute layer `index`, falling back to full precision.
+    pub fn for_layer(&self, index: usize) -> LayerPrecisionSpec {
+        self.specs
+            .get(index)
+            .cloned()
+            .unwrap_or_else(LayerPrecisionSpec::full_precision)
+    }
+
+    /// Number of per-layer specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the assignment holds no specs.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// The cycle-level simulator for one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Simulator {
+    config: EquivalentConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator at the given equivalent compute bandwidth.
+    pub fn new(config: EquivalentConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The paper's headline 128 MAC-equivalent configuration.
+    pub fn baseline_128() -> Self {
+        Simulator {
+            config: EquivalentConfig::BASELINE_128,
+        }
+    }
+
+    /// The design point this simulator models.
+    pub fn config(&self) -> EquivalentConfig {
+        self.config
+    }
+
+    /// Simulates `network` on `kind` under `assignment` and returns the
+    /// per-layer cycle and traffic breakdown.
+    pub fn simulate(
+        &self,
+        kind: AcceleratorKind,
+        network: &Network,
+        assignment: &PrecisionAssignment,
+    ) -> NetworkSim {
+        let mut layers = Vec::with_capacity(network.layers().len());
+        let mut compute_idx = 0usize;
+        for layer in network.layers() {
+            let spec = if layer.kind.is_compute() {
+                let s = assignment.for_layer(compute_idx);
+                compute_idx += 1;
+                s
+            } else {
+                LayerPrecisionSpec::full_precision()
+            };
+            layers.push(self.simulate_layer(kind, &layer.name, &layer.kind, &spec));
+        }
+        NetworkSim {
+            accelerator: kind.to_string(),
+            network: network.name().to_string(),
+            layers,
+        }
+    }
+
+    /// Simulates a single layer.
+    pub fn simulate_layer(
+        &self,
+        kind: AcceleratorKind,
+        name: &str,
+        layer: &LayerKind,
+        precision: &LayerPrecisionSpec,
+    ) -> LayerSim {
+        let storage = self.storage_precision(kind, layer, precision);
+        let traffic = layer_traffic(layer, storage);
+        let (class, cycles, utilization) = match layer {
+            LayerKind::Conv(spec) => {
+                let (cycles, utilization) = self.conv_cycles(kind, spec, precision);
+                (LayerClass::Conv, cycles, utilization)
+            }
+            LayerKind::FullyConnected(spec) => {
+                let (cycles, utilization) = self.fc_cycles(kind, spec, precision);
+                (LayerClass::FullyConnected, cycles, utilization)
+            }
+            LayerKind::MaxPool(_) => (LayerClass::Other, 0, 1.0),
+        };
+        LayerSim {
+            layer_name: name.to_string(),
+            class,
+            macs: layer.macs(),
+            cycles,
+            utilization,
+            storage,
+            traffic,
+        }
+    }
+
+    fn conv_cycles(
+        &self,
+        kind: AcceleratorKind,
+        spec: &loom_model::layer::ConvSpec,
+        precision: &LayerPrecisionSpec,
+    ) -> (u64, f64) {
+        match kind {
+            AcceleratorKind::Dpnn => {
+                let g = self.config.dpnn();
+                (
+                    dpnn::conv_cycles(&g, spec),
+                    dpnn::conv_utilization(&g, spec),
+                )
+            }
+            AcceleratorKind::Stripes => {
+                let g = self.config.dpnn();
+                (
+                    stripes::conv_cycles_static(&g, spec, precision.activation),
+                    dpnn::conv_utilization(&g, spec),
+                )
+            }
+            AcceleratorKind::DStripes => {
+                let g = self.config.dpnn();
+                (
+                    stripes::conv_cycles_dynamic(
+                        &g,
+                        spec,
+                        precision.activation,
+                        &precision.dynamic_activation,
+                    ),
+                    dpnn::conv_utilization(&g, spec),
+                )
+            }
+            AcceleratorKind::Loom(variant) => {
+                let g = self.config.loom(variant);
+                let r = conv_schedule(&g, spec, precision);
+                (r.cycles, r.utilization)
+            }
+        }
+    }
+
+    fn fc_cycles(
+        &self,
+        kind: AcceleratorKind,
+        spec: &loom_model::layer::FcSpec,
+        precision: &LayerPrecisionSpec,
+    ) -> (u64, f64) {
+        match kind {
+            AcceleratorKind::Dpnn | AcceleratorKind::Stripes | AcceleratorKind::DStripes => {
+                let g = self.config.dpnn();
+                (dpnn::fc_cycles(&g, spec), dpnn::fc_utilization(&g, spec))
+            }
+            AcceleratorKind::Loom(variant) => {
+                let g = self.config.loom(variant);
+                let r = fc_schedule(&g, spec, precision, true);
+                (r.cycles, r.utilization)
+            }
+        }
+    }
+
+    /// The precision each accelerator stores a layer's data at: the baseline
+    /// keeps 16 bits; Stripes/DStripes pack activations at the profile
+    /// precision (their memory interface is bit-serial for activations); Loom
+    /// packs both activations and weights.
+    fn storage_precision(
+        &self,
+        kind: AcceleratorKind,
+        layer: &LayerKind,
+        precision: &LayerPrecisionSpec,
+    ) -> StoragePrecision {
+        match kind {
+            AcceleratorKind::Dpnn => StoragePrecision::baseline(),
+            AcceleratorKind::Stripes | AcceleratorKind::DStripes => {
+                if layer.is_conv() {
+                    StoragePrecision::packed(precision.activation, Precision::FULL)
+                } else {
+                    StoragePrecision::baseline()
+                }
+            }
+            AcceleratorKind::Loom(_) => {
+                StoragePrecision::packed(precision.activation, precision.weight)
+            }
+        }
+    }
+}
+
+/// Builds the precision assignment the paper's headline experiments use for
+/// `network`: per-layer profile precisions plus a `Scaled` dynamic activation
+/// source with the given fraction, and optionally per-group effective weight
+/// precisions (`group_weight_bits`, one entry per *conv* layer as in Table 3).
+pub fn assignment_from_profile(
+    network: &Network,
+    profile: &loom_precision::NetworkProfile,
+    dynamic_fraction: Option<f64>,
+    group_weight_bits: Option<(&[f64], &[f64])>,
+) -> PrecisionAssignment {
+    let mut specs = Vec::new();
+    let mut conv_idx = 0usize;
+    let mut fc_idx = 0usize;
+    for layer in network.compute_layers() {
+        let spec = if layer.kind.is_conv() {
+            let activation = profile.conv_activation(conv_idx);
+            let weight = profile.conv_weight;
+            let dynamic_activation = match dynamic_fraction {
+                Some(fraction) => GroupPrecisionSource::Scaled { fraction },
+                None => GroupPrecisionSource::Nominal,
+            };
+            let group_weight = match group_weight_bits {
+                Some((conv_bits, _)) => conv_bits
+                    .get(conv_idx)
+                    .map(|&b| GroupPrecisionSource::AverageBits(b))
+                    .unwrap_or(GroupPrecisionSource::Nominal),
+                None => GroupPrecisionSource::Nominal,
+            };
+            conv_idx += 1;
+            LayerPrecisionSpec {
+                activation,
+                weight,
+                dynamic_activation,
+                group_weight,
+            }
+        } else {
+            let weight = profile.fc_weight(fc_idx);
+            let group_weight = match group_weight_bits {
+                Some((_, fc_bits)) => fc_bits
+                    .get(fc_idx)
+                    .map(|&b| GroupPrecisionSource::AverageBits(b))
+                    .unwrap_or(GroupPrecisionSource::Nominal),
+                None => GroupPrecisionSource::Nominal,
+            };
+            fc_idx += 1;
+            LayerPrecisionSpec {
+                activation: profile.fc_activation(),
+                weight,
+                dynamic_activation: GroupPrecisionSource::Nominal,
+                group_weight,
+            }
+        };
+        specs.push(spec);
+    }
+    PrecisionAssignment::new(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::zoo;
+    use loom_precision::table1;
+    use loom_precision::AccuracyTarget;
+
+    fn alexnet_assignment(dynamic: Option<f64>) -> (loom_model::Network, PrecisionAssignment) {
+        let net = zoo::alexnet();
+        let profile = table1::profile("AlexNet", AccuracyTarget::Lossless).unwrap();
+        let assignment = assignment_from_profile(&net, &profile, dynamic, None);
+        (net, assignment)
+    }
+
+    #[test]
+    fn dpnn_cycles_are_independent_of_precisions() {
+        let (net, assignment) = alexnet_assignment(Some(0.8));
+        let sim = Simulator::baseline_128();
+        let with_profile = sim.simulate(AcceleratorKind::Dpnn, &net, &assignment);
+        let full = sim.simulate(
+            AcceleratorKind::Dpnn,
+            &net,
+            &PrecisionAssignment::full_precision(&net),
+        );
+        assert_eq!(with_profile.total_cycles(), full.total_cycles());
+    }
+
+    #[test]
+    fn alexnet_static_loom_speedups_match_ideal_formulas() {
+        // With the static 100% profile (no dynamic detection), the MAC-weighted
+        // ideal predicts ~3.4x for CVLs and ~1.66x for FCLs (see DESIGN.md);
+        // the simulated tiling should land close to that.
+        let (net, assignment) = alexnet_assignment(None);
+        let sim = Simulator::baseline_128();
+        let dpnn = sim.simulate(AcceleratorKind::Dpnn, &net, &assignment);
+        let lm = sim.simulate(AcceleratorKind::Loom(LoomVariant::Lm1b), &net, &assignment);
+        let conv = lm.conv_speedup_vs(&dpnn);
+        let fc = lm.fc_speedup_vs(&dpnn);
+        assert!((3.0..=3.8).contains(&conv), "conv speedup {conv}");
+        assert!((1.5..=1.8).contains(&fc), "fc speedup {fc}");
+    }
+
+    #[test]
+    fn dynamic_detection_only_helps_loom_convolutions() {
+        let (net, static_assignment) = alexnet_assignment(None);
+        let (_, dynamic_assignment) = alexnet_assignment(Some(0.8));
+        let sim = Simulator::baseline_128();
+        let lm_static = sim.simulate(
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            &net,
+            &static_assignment,
+        );
+        let lm_dynamic = sim.simulate(
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            &net,
+            &dynamic_assignment,
+        );
+        assert!(lm_dynamic.conv_cycles() < lm_static.conv_cycles());
+        assert_eq!(lm_dynamic.fc_cycles(), lm_static.fc_cycles());
+    }
+
+    #[test]
+    fn stripes_beats_dpnn_but_loses_to_loom_on_convs() {
+        let (net, assignment) = alexnet_assignment(Some(0.8));
+        let sim = Simulator::baseline_128();
+        let dpnn = sim.simulate(AcceleratorKind::Dpnn, &net, &assignment);
+        let stripes = sim.simulate(AcceleratorKind::Stripes, &net, &assignment);
+        let dstripes = sim.simulate(AcceleratorKind::DStripes, &net, &assignment);
+        let lm = sim.simulate(AcceleratorKind::Loom(LoomVariant::Lm1b), &net, &assignment);
+        let s = stripes.conv_speedup_vs(&dpnn);
+        let ds = dstripes.conv_speedup_vs(&dpnn);
+        let l = lm.conv_speedup_vs(&dpnn);
+        assert!(s > 1.5, "Stripes {s}");
+        assert!(ds > s, "DStripes {ds} vs Stripes {s}");
+        assert!(l > ds, "Loom {l} vs DStripes {ds}");
+        // Stripes gains nothing on FCLs.
+        assert_eq!(stripes.fc_cycles(), dpnn.fc_cycles());
+    }
+
+    #[test]
+    fn loom_storage_is_packed_and_moves_fewer_bits() {
+        let (net, assignment) = alexnet_assignment(Some(0.8));
+        let sim = Simulator::baseline_128();
+        let dpnn = sim.simulate(AcceleratorKind::Dpnn, &net, &assignment);
+        let lm = sim.simulate(AcceleratorKind::Loom(LoomVariant::Lm1b), &net, &assignment);
+        assert!(lm.total_traffic().total_bits() < dpnn.total_traffic().total_bits());
+    }
+
+    #[test]
+    fn accelerator_display_names() {
+        assert_eq!(AcceleratorKind::Dpnn.to_string(), "DPNN");
+        assert_eq!(
+            AcceleratorKind::Loom(LoomVariant::Lm2b).to_string(),
+            "Loom 2-bit"
+        );
+        assert_eq!(AcceleratorKind::all().len(), 6);
+    }
+
+    #[test]
+    fn assignment_accessors() {
+        let (net, assignment) = alexnet_assignment(None);
+        assert_eq!(assignment.len(), net.compute_layers().count());
+        assert!(!assignment.is_empty());
+        // Out-of-range layers fall back to full precision.
+        assert_eq!(assignment.for_layer(999).activation.bits(), 16);
+    }
+}

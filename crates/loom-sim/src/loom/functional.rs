@@ -1,0 +1,468 @@
+//! A functional (value-producing) Loom engine.
+//!
+//! The analytic cycle models in [`crate::loom::schedule`] answer "how long
+//! does it take"; this module answers "does the bit-serial machine actually
+//! compute the right numbers". It maps convolutional and fully-connected
+//! layers onto a grid of [`Sip`](crate::loom::sip)-equivalent units exactly as
+//! §3.2 describes — filters along rows, windows (CVL) or output slices (FCL)
+//! along columns, 16 weights per SIP — executes them bit-serially, and returns
+//! both the computed outputs and the cycles spent, with optional dynamic
+//! per-group activation precision detection.
+//!
+//! Outputs are checked against the golden model from `loom-model`; cycles are
+//! checked against the analytic schedules.
+
+use crate::config::LoomGeometry;
+use crate::loom::sip::serial_inner_product;
+use loom_model::fixed::{required_precision, Precision};
+use loom_model::im2col::window_patch;
+use loom_model::layer::{ConvSpec, FcSpec};
+use loom_model::tensor::{Tensor3, Tensor4};
+
+/// Result of running a layer through the functional engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalRun {
+    /// Output accumulators in the same layout as the golden model
+    /// (filter-major for convolutions, output index order for FCLs).
+    pub outputs: Vec<i64>,
+    /// Cycles the bit-serial execution took.
+    pub cycles: u64,
+    /// Number of activation groups whose precision was reduced below the
+    /// nominal activation precision by dynamic detection.
+    pub reduced_groups: u64,
+}
+
+/// The functional Loom engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalLoom {
+    geometry: LoomGeometry,
+    /// Whether per-group activation precisions are detected at runtime.
+    pub dynamic_precision: bool,
+}
+
+impl FunctionalLoom {
+    /// Creates an engine with the given geometry and dynamic precision
+    /// detection enabled (the paper's default).
+    pub fn new(geometry: LoomGeometry) -> Self {
+        FunctionalLoom {
+            geometry,
+            dynamic_precision: true,
+        }
+    }
+
+    /// Disables runtime precision detection (profile precisions only).
+    pub fn without_dynamic_precision(mut self) -> Self {
+        self.dynamic_precision = false;
+        self
+    }
+
+    /// The engine geometry.
+    pub fn geometry(&self) -> LoomGeometry {
+        self.geometry
+    }
+
+    /// Runs a convolutional layer bit-serially.
+    ///
+    /// `pa`/`pw` are the layer's profile precisions; activations are treated as
+    /// signed two's-complement (the engine's negation block handles both
+    /// operand signs, and post-ReLU data simply never exercises the negative
+    /// range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors do not match the spec.
+    pub fn run_conv(
+        &self,
+        spec: &ConvSpec,
+        input: &Tensor3,
+        weights: &Tensor4,
+        pa: Precision,
+        pw: Precision,
+    ) -> FunctionalRun {
+        assert_eq!(input.shape(), spec.input_shape(), "input shape mismatch");
+        assert_eq!(
+            weights.shape(),
+            spec.weight_shape(),
+            "weight shape mismatch"
+        );
+        let cols = self.geometry.window_columns;
+        let rows = self.geometry.filter_rows;
+        let lanes = self.geometry.sip_lanes;
+        let b = u64::from(self.geometry.act_bits_per_cycle);
+
+        let out_w = spec.out_width();
+        let windows = spec.windows();
+        // Post-ReLU activations are non-negative and processed as unsigned
+        // magnitudes; the signed path (two's-complement MSB negation) is used
+        // whenever the input actually contains negative values.
+        let activations_signed = input.as_slice().iter().any(|&v| v < 0);
+        let group_in = spec.in_channels / spec.groups;
+        let group_out = spec.filters / spec.groups;
+        let wpf = spec.weights_per_filter();
+        let chunks = wpf.div_ceil(lanes);
+
+        let mut outputs = vec![0i64; spec.filters * windows];
+        let mut cycles = 0u64;
+        let mut reduced_groups = 0u64;
+
+        // Window groups along the columns, filter groups along the rows.
+        for window_base in (0..windows).step_by(cols) {
+            let window_count = cols.min(windows - window_base);
+            // Pre-extract the patches of this window group once.
+            let patches: Vec<Vec<i32>> = (0..window_count)
+                .map(|i| {
+                    let w = window_base + i;
+                    (w / out_w, w % out_w)
+                })
+                .map(|(oy, ox)| window_patch(spec, input, oy, ox, 0, spec.in_channels))
+                .collect();
+
+            for chunk in 0..chunks {
+                let lane_base = chunk * lanes;
+                let lane_count = lanes.min(wpf - lane_base);
+                // Dynamic precision: detect over all activations this group of
+                // SIP columns consumes concurrently (up to cols × 16 values).
+                // Runtime detection inspects exactly the activation bits this
+                // block will consume. Grouped convolutions interleave channel
+                // ranges per filter group, so detection is skipped for them
+                // (a conservative simplification; AlexNet's grouped layers
+                // still benefit from their static profile precisions).
+                let effective_pa = if self.dynamic_precision && spec.groups == 1 {
+                    let mut group_values = Vec::with_capacity(window_count * lane_count);
+                    for patch in &patches {
+                        group_values.extend_from_slice(
+                            &patch[lane_base.min(patch.len())
+                                ..(lane_base + lane_count).min(patch.len())],
+                        );
+                    }
+                    let detected = if activations_signed {
+                        required_precision(&group_values).min(pa)
+                    } else {
+                        loom_model::fixed::required_unsigned_precision(&group_values).min(pa)
+                    };
+                    if detected < pa {
+                        reduced_groups += 1;
+                    }
+                    detected
+                } else {
+                    pa
+                };
+
+                // The block occupies the SIP array for Pw × ceil(Pa / b) cycles
+                // regardless of how many filter rows exist, but covers at most
+                // `rows` filters at a time.
+                let filter_groups = spec.filters.div_ceil(rows) as u64;
+                cycles +=
+                    filter_groups * pw.bits_u64() * (u64::from(effective_pa.bits())).div_ceil(b);
+
+                // Compute the partial products this block contributes.
+                for k in 0..spec.filters {
+                    let group = k / group_out;
+                    let c_base = group * group_in;
+                    let filter = weights.filter(k);
+                    // The chunk indexes into the filter's CHW-flattened weights;
+                    // grouped convolutions address their own channel slice.
+                    let f_base = lane_base;
+                    if f_base >= filter.len() {
+                        continue;
+                    }
+                    let f_count = lane_count.min(filter.len() - f_base);
+                    for (col, patch_full) in patches.iter().enumerate() {
+                        let window = window_base + col;
+                        // For grouped convolutions re-extract the per-group patch.
+                        let patch_storage;
+                        let patch: &[i32] = if spec.groups == 1 {
+                            patch_full
+                        } else {
+                            let (oy, ox) = (window / out_w, window % out_w);
+                            patch_storage = window_patch(spec, input, oy, ox, c_base, group_in);
+                            &patch_storage
+                        };
+                        if f_base >= patch.len() {
+                            continue;
+                        }
+                        let a_slice = &patch[f_base..(f_base + f_count).min(patch.len())];
+                        let w_slice = &filter[f_base..f_base + a_slice.len()];
+                        outputs[k * windows + window] += serial_inner_product(
+                            w_slice,
+                            a_slice,
+                            pw,
+                            effective_pa,
+                            true,
+                            activations_signed,
+                        );
+                    }
+                }
+            }
+        }
+        FunctionalRun {
+            outputs,
+            cycles,
+            reduced_groups,
+        }
+    }
+
+    /// Runs a fully-connected layer bit-serially. Every SIP is assigned one
+    /// output activation; with fewer than `rows × columns` outputs the engine
+    /// cascades, slicing each output's inputs across multiple SIPs on the same
+    /// row and reducing the partial sums at the end (§3.2 "Processing Layers
+    /// with Few Outputs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the spec.
+    pub fn run_fc(
+        &self,
+        spec: &FcSpec,
+        input: &[i32],
+        weights: &[i32],
+        pw: Precision,
+    ) -> FunctionalRun {
+        assert_eq!(input.len(), spec.in_features, "input length mismatch");
+        assert_eq!(
+            weights.len(),
+            spec.in_features * spec.out_features,
+            "weight length mismatch"
+        );
+        let lanes = self.geometry.sip_lanes;
+        let b = u64::from(self.geometry.act_bits_per_cycle);
+        let concurrent = self.geometry.concurrent_fc_outputs();
+        let act_cycles_per_weight_bit = (lanes as u64).div_ceil(b);
+
+        // Cascading: slice each output over `slices` SIPs when outputs are few.
+        let slices = if spec.out_features < concurrent {
+            (concurrent / spec.out_features)
+                .min(self.geometry.window_columns)
+                .max(1)
+        } else {
+            1
+        };
+        let chunks = spec.in_features.div_ceil(lanes);
+        let chunks_per_slice = chunks.div_ceil(slices);
+        let output_groups = (spec.out_features * slices).div_ceil(concurrent) as u64;
+
+        let mut outputs = vec![0i64; spec.out_features];
+        for (k, out) in outputs.iter_mut().enumerate() {
+            let row = &weights[k * spec.in_features..(k + 1) * spec.in_features];
+            for chunk in 0..chunks {
+                let base = chunk * lanes;
+                let count = lanes.min(spec.in_features - base);
+                *out += serial_inner_product(
+                    &row[base..base + count],
+                    &input[base..base + count],
+                    pw,
+                    Precision::FULL,
+                    true,
+                    true,
+                );
+            }
+        }
+
+        // Steady-state cycles plus the pipeline fill (staggered weight loading
+        // across columns) and the cascade reduction cycles.
+        let steady =
+            output_groups * chunks_per_slice as u64 * pw.bits_u64() * act_cycles_per_weight_bit;
+        let fill = (self.geometry.window_columns as u64 - 1) * act_cycles_per_weight_bit;
+        let reduction = slices as u64 - 1;
+        FunctionalRun {
+            outputs,
+            cycles: steady + fill + reduction,
+            reduced_groups: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EquivalentConfig, LoomVariant};
+    use loom_model::reference::{conv_forward, fc_forward};
+    use loom_model::synthetic::{synthetic_activations, synthetic_weights, ValueDistribution};
+    use loom_model::tensor::Shape4;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_geometry() -> LoomGeometry {
+        // A scaled-down grid keeps the functional tests fast while exercising
+        // the same tiling logic: 8 filter rows × 4 window columns × 4 lanes.
+        LoomGeometry {
+            filter_rows: 8,
+            window_columns: 4,
+            sip_lanes: 4,
+            act_bits_per_cycle: 1,
+        }
+    }
+
+    #[test]
+    fn conv_outputs_match_reference() {
+        let spec = ConvSpec {
+            in_channels: 3,
+            in_height: 6,
+            in_width: 6,
+            filters: 10,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let pa = Precision::new(7).unwrap();
+        let pw = Precision::new(6).unwrap();
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            synthetic_activations(
+                &mut rng,
+                spec.input_shape().len(),
+                pa,
+                ValueDistribution::activations(),
+            ),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            spec.weight_shape(),
+            synthetic_weights(
+                &mut rng,
+                spec.weight_shape().len(),
+                pw,
+                ValueDistribution::weights(),
+            ),
+        )
+        .unwrap();
+        let engine = FunctionalLoom::new(small_geometry());
+        let run = engine.run_conv(&spec, &input, &weights, pa, pw);
+        assert_eq!(run.outputs, conv_forward(&spec, &input, &weights));
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn conv_dynamic_precision_is_lossless_and_faster() {
+        let spec = ConvSpec::simple(4, 8, 8, 6, 3);
+        let mut rng = StdRng::seed_from_u64(33);
+        let pa = Precision::new(9).unwrap();
+        let pw = Precision::new(7).unwrap();
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            synthetic_activations(
+                &mut rng,
+                spec.input_shape().len(),
+                pa,
+                ValueDistribution::activations(),
+            ),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            spec.weight_shape(),
+            synthetic_weights(
+                &mut rng,
+                spec.weight_shape().len(),
+                pw,
+                ValueDistribution::weights(),
+            ),
+        )
+        .unwrap();
+        let geometry = small_geometry();
+        let with_dynamic = FunctionalLoom::new(geometry).run_conv(&spec, &input, &weights, pa, pw);
+        let without = FunctionalLoom::new(geometry)
+            .without_dynamic_precision()
+            .run_conv(&spec, &input, &weights, pa, pw);
+        // Same outputs (lossless), fewer or equal cycles, some groups reduced.
+        assert_eq!(with_dynamic.outputs, without.outputs);
+        assert!(with_dynamic.cycles <= without.cycles);
+        assert!(with_dynamic.reduced_groups > 0);
+        assert_eq!(without.reduced_groups, 0);
+    }
+
+    #[test]
+    fn grouped_conv_outputs_match_reference() {
+        let spec = ConvSpec {
+            in_channels: 4,
+            in_height: 5,
+            in_width: 5,
+            filters: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 0,
+            groups: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(55);
+        let pa = Precision::new(6).unwrap();
+        let pw = Precision::new(5).unwrap();
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            synthetic_activations(
+                &mut rng,
+                spec.input_shape().len(),
+                pa,
+                ValueDistribution::activations(),
+            ),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            Shape4::new(6, 2, 3, 3),
+            synthetic_weights(&mut rng, 6 * 2 * 9, pw, ValueDistribution::weights()),
+        )
+        .unwrap();
+        let engine = FunctionalLoom::new(small_geometry()).without_dynamic_precision();
+        let run = engine.run_conv(&spec, &input, &weights, pa, pw);
+        assert_eq!(run.outputs, conv_forward(&spec, &input, &weights));
+    }
+
+    #[test]
+    fn fc_outputs_match_reference() {
+        let spec = FcSpec::new(40, 12);
+        let mut rng = StdRng::seed_from_u64(77);
+        let pw = Precision::new(8).unwrap();
+        let input = synthetic_activations(
+            &mut rng,
+            40,
+            Precision::new(10).unwrap(),
+            ValueDistribution::activations(),
+        );
+        let weights = synthetic_weights(&mut rng, 40 * 12, pw, ValueDistribution::weights());
+        let engine = FunctionalLoom::new(small_geometry());
+        let run = engine.run_fc(&spec, &input, &weights, pw);
+        assert_eq!(run.outputs, fc_forward(&spec, &input, &weights));
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn fc_cycles_shrink_with_weight_precision() {
+        let spec = FcSpec::new(64, 64);
+        let mut rng = StdRng::seed_from_u64(78);
+        let input = synthetic_activations(
+            &mut rng,
+            64,
+            Precision::new(8).unwrap(),
+            ValueDistribution::activations(),
+        );
+        let weights = synthetic_weights(
+            &mut rng,
+            64 * 64,
+            Precision::new(4).unwrap(),
+            ValueDistribution::weights(),
+        );
+        let engine = FunctionalLoom::new(small_geometry());
+        let narrow = engine.run_fc(&spec, &input, &weights, Precision::new(4).unwrap());
+        let wide = engine.run_fc(&spec, &input, &weights, Precision::FULL);
+        assert_eq!(narrow.outputs, wide.outputs);
+        assert!(narrow.cycles < wide.cycles);
+    }
+
+    #[test]
+    fn full_scale_geometry_paper_quantum() {
+        // With the real 128-row × 16-column grid, a 256-input × 2048-output FC
+        // slice at Pw = 16 takes 16 × 16 = 256 cycles of steady state per input
+        // chunk — matching DPNN as §3.2 requires.
+        let geometry = EquivalentConfig::BASELINE_128.loom(LoomVariant::Lm1b);
+        let engine = FunctionalLoom::new(geometry);
+        let spec = FcSpec::new(16, 2048);
+        let input = vec![1i32; 16];
+        let weights = vec![1i32; 16 * 2048];
+        let run = engine.run_fc(&spec, &input, &weights, Precision::FULL);
+        let fill = (16 - 1) * 16;
+        assert_eq!(run.cycles, 256 + fill);
+        assert!(run.outputs.iter().all(|&o| o == 16));
+    }
+}

@@ -1,0 +1,10 @@
+//! The Loom bit-serial engine: functional SIP model, functional layer engine,
+//! and the analytic schedules for convolutional and fully-connected layers.
+
+pub mod functional;
+pub mod schedule;
+pub mod sip;
+
+pub use functional::{FunctionalLoom, FunctionalRun};
+pub use schedule::{conv_schedule, fc_schedule, ScheduleResult};
+pub use sip::{reference_inner_product, serial_inner_product, Sip};

@@ -1,0 +1,328 @@
+//! Analytic cycle models of the Loom schedules (§3.2).
+//!
+//! * **Convolutional layers** — weight bits are loaded in parallel across a
+//!   whole SIP row and reused over the activation bits of the 16 windows the
+//!   columns hold, so a block of `columns` windows × `rows` filters × 16
+//!   weights takes `Pw × ceil(Pa / b)` cycles. Dynamic per-group activation
+//!   precisions shorten `Pa` block by block; per-group weight precisions
+//!   (Table 3/4) shorten `Pw`.
+//! * **Fully-connected layers** — every SIP owns one output activation; weight
+//!   bits are loaded one column per cycle and reused over the `16/b` cycles
+//!   the activation bits take, so a block of `rows × columns` outputs × 16
+//!   inputs takes `Pw × 16/b` cycles. Activation precision does not affect
+//!   performance. Layers with fewer outputs than SIPs use cascading: each
+//!   output is sliced over several SIPs of a row and the partial sums are
+//!   reduced over `slices` extra cycles.
+
+use crate::config::LoomGeometry;
+use loom_model::layer::{ConvSpec, FcSpec};
+use loom_precision::trace::LayerPrecisionSpec;
+
+/// Outcome of the analytic model for one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleResult {
+    /// Total cycles, including pipeline fill.
+    pub cycles: u64,
+    /// Spatial occupancy of the SIP grid (1.0 = every row and column holds
+    /// useful work in every block).
+    pub utilization: f64,
+}
+
+/// Quantizes a (possibly fractional) effective activation precision to the
+/// variant's `b` bits-per-cycle granularity.
+///
+/// Integer precisions are rounded up exactly (`ceil(p / b) × b`, so an 8-bit
+/// profile on LM4b costs the same as 5–8 bits, as the paper notes). Fractional
+/// (statistically averaged) precisions use the expectation of that rounding,
+/// `p + (b-1)/2`, capped at the exact rounding of the nominal precision.
+pub fn quantize_activation_bits(effective: f64, nominal_bits: u8, b: u8) -> f64 {
+    let b_f = f64::from(b);
+    let cap = (f64::from(nominal_bits) / b_f).ceil() * b_f;
+    if (effective.fract()).abs() < f64::EPSILON {
+        ((effective / b_f).ceil() * b_f).min(cap)
+    } else {
+        (effective + (b_f - 1.0) / 2.0).min(cap)
+    }
+}
+
+/// Cycles and utilisation for a convolutional layer.
+pub fn conv_schedule(
+    geometry: &LoomGeometry,
+    spec: &ConvSpec,
+    precision: &LayerPrecisionSpec,
+) -> ScheduleResult {
+    let cols = geometry.window_columns as u64;
+    let rows = geometry.filter_rows as u64;
+    let b = geometry.act_bits_per_cycle;
+    let windows = spec.windows() as u64;
+    let filters = spec.filters as u64;
+    let wpf = spec.weights_per_filter() as u64;
+
+    let window_groups = windows.div_ceil(cols);
+    let filter_groups = filters.div_ceil(rows);
+    let weight_chunks = wpf.div_ceil(geometry.sip_lanes as u64);
+
+    let mut cycles = 0.0f64;
+    let mut group_index = 0usize;
+    for _wg in 0..window_groups {
+        for chunk in 0..weight_chunks {
+            let pa_eff = precision
+                .dynamic_activation
+                .effective_bits(precision.activation, group_index);
+            group_index += 1;
+            let pa_q = quantize_activation_bits(pa_eff, precision.activation.bits(), b);
+            let pw_eff = precision
+                .group_weight
+                .effective_bits(precision.weight, chunk as usize);
+            cycles += filter_groups as f64 * pw_eff * (pa_q / f64::from(b));
+        }
+    }
+    // Pipeline fill: the first weight-bit plane must be loaded before compute
+    // can start (one extra weight-load cycle per layer).
+    let cycles = cycles.ceil() as u64 + 1;
+
+    let spatial = (windows as f64 / (window_groups * cols) as f64)
+        * (filters as f64 / (filter_groups * rows) as f64)
+        * (wpf as f64 / (weight_chunks * geometry.sip_lanes as u64) as f64);
+    ScheduleResult {
+        cycles,
+        utilization: spatial.min(1.0),
+    }
+}
+
+/// Cycles and utilisation for a fully-connected layer.
+///
+/// `cascading` enables the few-output optimisation; the paper's Loom always
+/// has it available, but disabling it lets tests quantify its benefit.
+pub fn fc_schedule(
+    geometry: &LoomGeometry,
+    spec: &FcSpec,
+    precision: &LayerPrecisionSpec,
+    cascading: bool,
+) -> ScheduleResult {
+    let lanes = geometry.sip_lanes as u64;
+    let b = u64::from(geometry.act_bits_per_cycle);
+    let act_cycles_per_weight_bit = lanes.div_ceil(b);
+    let concurrent = geometry.concurrent_fc_outputs() as u64;
+    let outputs = spec.out_features as u64;
+    let inputs = spec.in_features as u64;
+
+    let slices = if cascading && outputs < concurrent {
+        (concurrent / outputs)
+            .min(geometry.window_columns as u64)
+            .max(1)
+    } else {
+        1
+    };
+    let chunks = inputs.div_ceil(lanes);
+    let chunks_per_slice = chunks.div_ceil(slices);
+    let output_groups = (outputs * slices).div_ceil(concurrent);
+
+    // Per-group weight precisions may be fractional (Table 3 averages).
+    let groups_total = (output_groups * chunks_per_slice) as usize;
+    let pw_eff = precision
+        .group_weight
+        .average_effective_bits(precision.weight, groups_total.max(1));
+
+    let steady =
+        output_groups as f64 * chunks_per_slice as f64 * pw_eff * act_cycles_per_weight_bit as f64;
+    let fill = (geometry.window_columns as u64 - 1) * act_cycles_per_weight_bit;
+    let reduction = slices - 1;
+    let cycles = steady.ceil() as u64 + fill + reduction;
+
+    let occupancy = (outputs * slices) as f64 / (output_groups * concurrent) as f64;
+    ScheduleResult {
+        cycles,
+        utilization: occupancy.min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EquivalentConfig, LoomVariant};
+    use crate::dpnn;
+    use loom_model::Precision;
+    use loom_precision::trace::GroupPrecisionSource;
+
+    fn geom(variant: LoomVariant) -> LoomGeometry {
+        EquivalentConfig::BASELINE_128.loom(variant)
+    }
+
+    fn dpnn_geom() -> crate::config::DpnnGeometry {
+        EquivalentConfig::BASELINE_128.dpnn()
+    }
+
+    fn p(bits: u8) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    /// A convolutional layer that tiles the 128-configuration perfectly.
+    fn tiled_conv() -> ConvSpec {
+        ConvSpec {
+            in_channels: 64,
+            in_height: 34,
+            in_width: 34,
+            filters: 128,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        }
+    }
+
+    #[test]
+    fn conv_matches_dpnn_at_sixteen_bits() {
+        // Paper invariant: with 16-bit activations and weights Loom matches the
+        // bit-parallel engine's throughput (to within pipeline fill).
+        let spec = tiled_conv();
+        let lm = conv_schedule(
+            &geom(LoomVariant::Lm1b),
+            &spec,
+            &LayerPrecisionSpec::full_precision(),
+        );
+        let base = dpnn::conv_cycles(&dpnn_geom(), &spec);
+        let ratio = lm.cycles as f64 / base as f64;
+        assert!((0.99..=1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn conv_speedup_is_256_over_pa_times_pw() {
+        let spec = tiled_conv();
+        let prec = LayerPrecisionSpec::static_profile(p(8), p(8));
+        let lm = conv_schedule(&geom(LoomVariant::Lm1b), &spec, &prec);
+        let base = dpnn::conv_cycles(&dpnn_geom(), &spec);
+        let speedup = base as f64 / lm.cycles as f64;
+        assert!((3.9..=4.05).contains(&speedup), "got {speedup}");
+    }
+
+    #[test]
+    fn conv_dynamic_activation_reduces_cycles() {
+        let spec = tiled_conv();
+        let static_prec = LayerPrecisionSpec::static_profile(p(9), p(11));
+        let mut dynamic_prec = static_prec.clone();
+        dynamic_prec.dynamic_activation = GroupPrecisionSource::Scaled { fraction: 0.8 };
+        let g = geom(LoomVariant::Lm1b);
+        let s = conv_schedule(&g, &spec, &static_prec);
+        let d = conv_schedule(&g, &spec, &dynamic_prec);
+        assert!(d.cycles < s.cycles);
+        let ratio = d.cycles as f64 / s.cycles as f64;
+        assert!((0.78..=0.83).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn lm4b_gains_nothing_from_pa_5_vs_8() {
+        // §3.2: "for LM4b reducing Pa from 8 to 5 bits produces no performance
+        // benefit, whereas for LM1b it would improve performance by 1.6x".
+        let spec = tiled_conv();
+        let g4 = geom(LoomVariant::Lm4b);
+        let at8 = conv_schedule(&g4, &spec, &LayerPrecisionSpec::static_profile(p(8), p(11)));
+        let at5 = conv_schedule(&g4, &spec, &LayerPrecisionSpec::static_profile(p(5), p(11)));
+        assert_eq!(at8.cycles, at5.cycles);
+        let g1 = geom(LoomVariant::Lm1b);
+        let at8_1 = conv_schedule(&g1, &spec, &LayerPrecisionSpec::static_profile(p(8), p(11)));
+        let at5_1 = conv_schedule(&g1, &spec, &LayerPrecisionSpec::static_profile(p(5), p(11)));
+        let gain = at8_1.cycles as f64 / at5_1.cycles as f64;
+        assert!((1.55..=1.65).contains(&gain), "got {gain}");
+    }
+
+    #[test]
+    fn conv_underutilizes_with_few_filters() {
+        // 96 filters on a 128-row grid: Loom wastes a quarter of its rows while
+        // DPNN (8 filters/cycle) stays fully utilised, so the speedup drops to
+        // 192/(Pa*Pw) instead of 256/(Pa*Pw).
+        let mut spec = tiled_conv();
+        spec.filters = 96;
+        let prec = LayerPrecisionSpec::static_profile(p(8), p(8));
+        let lm = conv_schedule(&geom(LoomVariant::Lm1b), &spec, &prec);
+        let base = dpnn::conv_cycles(&dpnn_geom(), &spec);
+        let speedup = base as f64 / lm.cycles as f64;
+        assert!((2.9..=3.05).contains(&speedup), "got {speedup}");
+        assert!(lm.utilization < 0.8);
+    }
+
+    #[test]
+    fn fc_matches_dpnn_at_sixteen_bit_weights() {
+        let spec = FcSpec::new(4096, 4096);
+        let lm = fc_schedule(
+            &geom(LoomVariant::Lm1b),
+            &spec,
+            &LayerPrecisionSpec::full_precision(),
+            true,
+        );
+        let base = dpnn::fc_cycles(&dpnn_geom(), &spec);
+        let ratio = lm.cycles as f64 / base as f64;
+        assert!((0.99..=1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fc_speedup_is_16_over_pw() {
+        let spec = FcSpec::new(4096, 4096);
+        let prec = LayerPrecisionSpec::static_profile(Precision::FULL, p(8));
+        let lm = fc_schedule(&geom(LoomVariant::Lm1b), &spec, &prec, true);
+        let base = dpnn::fc_cycles(&dpnn_geom(), &spec);
+        let speedup = base as f64 / lm.cycles as f64;
+        assert!((1.95..=2.01).contains(&speedup), "got {speedup}");
+    }
+
+    #[test]
+    fn fc_activation_precision_does_not_matter() {
+        let spec = FcSpec::new(4096, 4096);
+        let g = geom(LoomVariant::Lm1b);
+        let full_act = fc_schedule(
+            &g,
+            &spec,
+            &LayerPrecisionSpec::static_profile(Precision::FULL, p(9)),
+            true,
+        );
+        let low_act = fc_schedule(
+            &g,
+            &spec,
+            &LayerPrecisionSpec::static_profile(p(5), p(9)),
+            true,
+        );
+        assert_eq!(full_act.cycles, low_act.cycles);
+    }
+
+    #[test]
+    fn fc_cascading_rescues_few_output_layers() {
+        // GoogLeNet's 1024 -> 1000 classifier: without cascading Loom would be
+        // slower than DPNN; with cascading it reaches the paper's ~2.25x.
+        let spec = FcSpec::new(1024, 1000);
+        let prec = LayerPrecisionSpec::static_profile(Precision::FULL, p(7));
+        let g = geom(LoomVariant::Lm1b);
+        let base = dpnn::fc_cycles(&dpnn_geom(), &spec);
+        let with = fc_schedule(&g, &spec, &prec, true);
+        let without = fc_schedule(&g, &spec, &prec, false);
+        let speedup_with = base as f64 / with.cycles as f64;
+        let speedup_without = base as f64 / without.cycles as f64;
+        assert!(speedup_with > 2.0, "got {speedup_with}");
+        assert!(speedup_without < 1.3, "got {speedup_without}");
+        assert!(with.utilization > without.utilization);
+    }
+
+    #[test]
+    fn fc_initiation_interval_shrinks_for_wider_variants() {
+        // The fill term is what makes LM2b/LM4b occasionally faster than LM1b
+        // on small FCLs (Table 2 discussion).
+        let spec = FcSpec::new(256, 2048);
+        let prec = LayerPrecisionSpec::static_profile(Precision::FULL, p(9));
+        let c1 = fc_schedule(&geom(LoomVariant::Lm1b), &spec, &prec, true).cycles;
+        let c2 = fc_schedule(&geom(LoomVariant::Lm2b), &spec, &prec, true).cycles;
+        let c4 = fc_schedule(&geom(LoomVariant::Lm4b), &spec, &prec, true).cycles;
+        assert!(c2 < c1);
+        assert!(c4 < c2);
+    }
+
+    #[test]
+    fn quantize_activation_bits_behaviour() {
+        assert_eq!(quantize_activation_bits(5.0, 8, 1), 5.0);
+        assert_eq!(quantize_activation_bits(5.0, 8, 2), 6.0);
+        assert_eq!(quantize_activation_bits(5.0, 8, 4), 8.0);
+        // Fractional averages get the expectation correction, capped at the
+        // nominal rounding.
+        assert!((quantize_activation_bits(6.4, 8, 2) - 6.9).abs() < 1e-9);
+        assert_eq!(quantize_activation_bits(7.9, 8, 4), 8.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-validation between the two Loom models.
+//!
+//! The repository carries two independent implementations of the Loom engine:
+//! the *functional* model ([`crate::loom::functional`]), which actually
+//! computes every output bit-serially, and the *analytic* schedules
+//! ([`crate::loom::schedule`]), which only count cycles but run fast enough to
+//! sweep whole networks. This module checks them against each other (and
+//! against the golden reference from `loom-model`) on concrete layers, which is
+//! how the repository establishes that the fast model used for every table and
+//! figure is trustworthy.
+
+use crate::config::LoomGeometry;
+use crate::loom::functional::FunctionalLoom;
+use crate::loom::schedule::{conv_schedule, fc_schedule};
+use loom_model::layer::{ConvSpec, FcSpec};
+use loom_model::reference::{conv_forward, fc_forward};
+use loom_model::tensor::{Tensor3, Tensor4};
+use loom_model::Precision;
+use loom_precision::trace::LayerPrecisionSpec;
+use std::fmt;
+
+/// Outcome of validating one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Whether the functional model's outputs match the golden reference
+    /// exactly.
+    pub outputs_match: bool,
+    /// Cycles reported by the functional model.
+    pub functional_cycles: u64,
+    /// Cycles reported by the analytic schedule.
+    pub analytic_cycles: u64,
+    /// Relative cycle disagreement `|functional - analytic| / analytic`.
+    pub cycle_error: f64,
+}
+
+impl ValidationReport {
+    /// Whether the two models agree: outputs are exact and the cycle counts
+    /// differ by at most `tolerance` (relative).
+    pub fn agrees_within(&self, tolerance: f64) -> bool {
+        self.outputs_match && self.cycle_error <= tolerance
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "outputs {} | functional {} cycles vs analytic {} cycles ({:.2}% apart)",
+            if self.outputs_match {
+                "exact"
+            } else {
+                "MISMATCH"
+            },
+            self.functional_cycles,
+            self.analytic_cycles,
+            self.cycle_error * 100.0
+        )
+    }
+}
+
+/// Validates a convolutional layer: the functional engine (dynamic precision
+/// disabled, so both models see the same static precisions) must produce the
+/// reference outputs and a cycle count matching the analytic schedule.
+pub fn validate_conv(
+    geometry: LoomGeometry,
+    spec: &ConvSpec,
+    input: &Tensor3,
+    weights: &Tensor4,
+    pa: Precision,
+    pw: Precision,
+) -> ValidationReport {
+    let reference = conv_forward(spec, input, weights);
+    let functional = FunctionalLoom::new(geometry)
+        .without_dynamic_precision()
+        .run_conv(spec, input, weights, pa, pw);
+    let analytic = conv_schedule(&geometry, spec, &LayerPrecisionSpec::static_profile(pa, pw));
+    report(
+        functional.outputs == reference,
+        functional.cycles,
+        analytic.cycles,
+    )
+}
+
+/// Validates a fully-connected layer the same way.
+pub fn validate_fc(
+    geometry: LoomGeometry,
+    spec: &FcSpec,
+    input: &[i32],
+    weights: &[i32],
+    pw: Precision,
+) -> ValidationReport {
+    let reference = fc_forward(spec, input, weights);
+    let functional = FunctionalLoom::new(geometry).run_fc(spec, input, weights, pw);
+    let analytic = fc_schedule(
+        &geometry,
+        spec,
+        &LayerPrecisionSpec::static_profile(Precision::FULL, pw),
+        true,
+    );
+    report(
+        functional.outputs == reference,
+        functional.cycles,
+        analytic.cycles,
+    )
+}
+
+fn report(outputs_match: bool, functional_cycles: u64, analytic_cycles: u64) -> ValidationReport {
+    let cycle_error = if analytic_cycles == 0 {
+        if functional_cycles == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (functional_cycles as f64 - analytic_cycles as f64).abs() / analytic_cycles as f64
+    };
+    ValidationReport {
+        outputs_match,
+        functional_cycles,
+        analytic_cycles,
+        cycle_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::synthetic::{synthetic_activations, synthetic_weights, ValueDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometry() -> LoomGeometry {
+        LoomGeometry {
+            filter_rows: 8,
+            window_columns: 4,
+            sip_lanes: 4,
+            act_bits_per_cycle: 1,
+        }
+    }
+
+    #[test]
+    fn conv_models_agree() {
+        let spec = ConvSpec::simple(3, 9, 9, 8, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pa = Precision::new(7).unwrap();
+        let pw = Precision::new(6).unwrap();
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            synthetic_activations(
+                &mut rng,
+                spec.input_shape().len(),
+                pa,
+                ValueDistribution::activations(),
+            ),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            spec.weight_shape(),
+            synthetic_weights(
+                &mut rng,
+                spec.weight_shape().len(),
+                pw,
+                ValueDistribution::weights(),
+            ),
+        )
+        .unwrap();
+        let r = validate_conv(geometry(), &spec, &input, &weights, pa, pw);
+        assert!(r.outputs_match, "{r}");
+        // The analytic model adds a one-cycle pipeline fill; otherwise exact.
+        assert!(r.agrees_within(0.02), "{r}");
+    }
+
+    #[test]
+    fn fc_models_agree() {
+        let spec = FcSpec::new(48, 24);
+        let mut rng = StdRng::seed_from_u64(6);
+        let pw = Precision::new(9).unwrap();
+        let input = synthetic_activations(
+            &mut rng,
+            48,
+            Precision::new(10).unwrap(),
+            ValueDistribution::activations(),
+        );
+        let weights = synthetic_weights(&mut rng, 48 * 24, pw, ValueDistribution::weights());
+        let r = validate_fc(geometry(), &spec, &input, &weights, pw);
+        assert!(r.agrees_within(0.01), "{r}");
+        assert!(r.to_string().contains("exact"));
+    }
+
+    #[test]
+    fn report_flags_cycle_disagreement() {
+        let r = report(true, 150, 100);
+        assert!(!r.agrees_within(0.3));
+        assert!((r.cycle_error - 0.5).abs() < 1e-12);
+        let degenerate = report(true, 5, 0);
+        assert!(degenerate.cycle_error.is_infinite());
+        assert_eq!(report(true, 0, 0).cycle_error, 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: simulate AlexNet on the bit-parallel baseline (DPNN) and on
+//! Loom, using the paper's published precision profiles, and print the
+//! speedup and energy-efficiency summary.
+//!
+//! Run with: `cargo run --release -p loom-core --example quickstart`
+
+use loom_core::experiment::{evaluate_network, ExperimentSettings};
+use loom_core::loom_model::zoo;
+use loom_core::loom_sim::engine::AcceleratorKind;
+use loom_core::loom_sim::LoomVariant;
+use loom_core::report::{fmt_ratio, TextTable};
+
+fn main() {
+    let network = zoo::alexnet();
+    println!("Network: {network}");
+
+    let eval = evaluate_network(&network, &ExperimentSettings::default());
+    println!(
+        "DPNN baseline: {} cycles per frame ({} conv, {} fully-connected)\n",
+        eval.dpnn.total_cycles(),
+        eval.dpnn.conv_cycles(),
+        eval.dpnn.fc_cycles()
+    );
+
+    let mut table = TextTable::new(vec![
+        "Accelerator",
+        "Conv speedup",
+        "FC speedup",
+        "All speedup",
+        "All efficiency",
+    ]);
+    for kind in [
+        AcceleratorKind::Stripes,
+        AcceleratorKind::DStripes,
+        AcceleratorKind::Loom(LoomVariant::Lm1b),
+        AcceleratorKind::Loom(LoomVariant::Lm2b),
+        AcceleratorKind::Loom(LoomVariant::Lm4b),
+    ] {
+        let r = eval.result_for(kind).expect("all accelerators evaluated");
+        table.row(vec![
+            kind.to_string(),
+            fmt_ratio(r.conv_speedup),
+            fmt_ratio(r.fc_speedup),
+            fmt_ratio(r.all_speedup),
+            fmt_ratio(r.all_efficiency),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(Compare with Table 2 / Figure 4 of the paper; see EXPERIMENTS.md.)");
+}

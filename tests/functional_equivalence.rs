@@ -1,0 +1,134 @@
+//! Cross-crate functional-equivalence tests: the bit-serial machinery must be
+//! bit-exact against the straightforward integer reference implementations,
+//! for arbitrary values and precisions (property-based).
+
+use loom_core::loom_mem::packing::PackedGroup;
+use loom_core::loom_model::fixed::{required_precision, signed_range, Precision};
+use loom_core::loom_model::layer::{ConvSpec, FcSpec};
+use loom_core::loom_model::reference::{conv_forward, fc_forward};
+use loom_core::loom_model::tensor::{Tensor3, Tensor4};
+use loom_core::loom_sim::config::LoomGeometry;
+use loom_core::loom_sim::loom::{reference_inner_product, serial_inner_product, FunctionalLoom};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SIP's bit-serial inner product equals the integer inner product for
+    /// any signed operands of any precision combination.
+    #[test]
+    fn sip_equals_reference_for_any_precisions(
+        pw in 1u8..=16,
+        pa in 1u8..=16,
+        lanes in 1usize..=16,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng, RngExt};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (wmin, wmax) = signed_range(Precision::new(pw).unwrap());
+        let (amin, amax) = signed_range(Precision::new(pa).unwrap());
+        let weights: Vec<i32> = (0..lanes).map(|_| rng.random_range(wmin..=wmax)).collect();
+        let activations: Vec<i32> = (0..lanes).map(|_| rng.random_range(amin..=amax)).collect();
+        let serial = serial_inner_product(
+            &weights,
+            &activations,
+            Precision::new(pw).unwrap(),
+            Precision::new(pa).unwrap(),
+            true,
+            true,
+        );
+        prop_assert_eq!(serial, reference_inner_product(&weights, &activations));
+    }
+
+    /// Bit-interleaved packing round-trips exactly at the precision detected
+    /// from the values themselves.
+    #[test]
+    fn packing_roundtrips(values in prop::collection::vec(-32768i32..=32767, 1..200)) {
+        let precision = required_precision(&values);
+        let packed = PackedGroup::pack(&values, precision).unwrap();
+        prop_assert_eq!(packed.unpack_signed(), values.clone());
+        prop_assert_eq!(packed.storage_bits(), values.len() as u64 * u64::from(precision.bits()));
+    }
+
+    /// The functional Loom engine computes fully-connected layers bit-exactly.
+    #[test]
+    fn functional_fc_matches_reference(
+        inputs in 1usize..40,
+        outputs in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng, RngExt};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = FcSpec::new(inputs, outputs);
+        let input: Vec<i32> = (0..inputs).map(|_| rng.random_range(-512i32..=511)).collect();
+        let weights: Vec<i32> = (0..inputs * outputs).map(|_| rng.random_range(-128i32..=127)).collect();
+        let geometry = LoomGeometry {
+            filter_rows: 8,
+            window_columns: 4,
+            sip_lanes: 4,
+            act_bits_per_cycle: 1,
+        };
+        let run = FunctionalLoom::new(geometry).run_fc(&spec, &input, &weights, Precision::new(8).unwrap());
+        prop_assert_eq!(run.outputs, fc_forward(&spec, &input, &weights));
+    }
+}
+
+/// The functional Loom engine computes a convolution bit-exactly, with and
+/// without dynamic precision detection, for a deterministic set of shapes.
+#[test]
+fn functional_conv_matches_reference_across_shapes() {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let shapes = [
+        (1usize, 5usize, 5usize, 3usize, 1usize, 1usize, 0usize),
+        (3, 8, 8, 6, 3, 1, 1),
+        (4, 7, 9, 5, 3, 2, 1),
+        (2, 6, 6, 9, 2, 1, 0),
+    ];
+    let geometry = LoomGeometry {
+        filter_rows: 4,
+        window_columns: 3,
+        sip_lanes: 5,
+        act_bits_per_cycle: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(99);
+    for (c, h, w, k, kernel, stride, padding) in shapes {
+        let spec = ConvSpec {
+            in_channels: c,
+            in_height: h,
+            in_width: w,
+            filters: k,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+            groups: 1,
+        };
+        spec.validate().unwrap();
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            (0..spec.input_shape().len())
+                .map(|_| rng.random_range(0i32..=255))
+                .collect(),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            spec.weight_shape(),
+            (0..spec.weight_shape().len())
+                .map(|_| rng.random_range(-64i32..=63))
+                .collect(),
+        )
+        .unwrap();
+        let reference = conv_forward(&spec, &input, &weights);
+        let pa = Precision::new(8).unwrap();
+        let pw = Precision::new(7).unwrap();
+        for dynamic in [true, false] {
+            let engine = if dynamic {
+                FunctionalLoom::new(geometry)
+            } else {
+                FunctionalLoom::new(geometry).without_dynamic_precision()
+            };
+            let run = engine.run_conv(&spec, &input, &weights, pa, pw);
+            assert_eq!(run.outputs, reference, "shape {spec:?} dynamic={dynamic}");
+        }
+    }
+}
