@@ -5,7 +5,16 @@
 fn main() {
     println!("loom-bench: run one of the reproduction binaries instead:");
     for bin in [
-        "table1", "table2", "table3", "table4", "figure4", "figure5", "area", "all",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "figure4",
+        "figure5",
+        "area",
+        "ablation",
+        "aspect_ratio",
+        "all",
     ] {
         println!("  cargo run --release -p loom-bench --bin {bin}");
     }

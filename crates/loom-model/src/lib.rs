@@ -11,7 +11,7 @@
 //!   group of values actually needs.
 //! * [`tensor`] — dense integer activation and weight tensors.
 //! * [`layer`] / [`network`] — layer and network geometry descriptors.
-//! * [`reference`] / [`im2col`] — golden integer implementations of
+//! * [`reference`](mod@reference) / [`im2col`] — golden integer implementations of
 //!   convolution, fully-connected, pooling and ReLU layers.
 //! * [`quant`] — linear quantization and inter-layer re-quantization.
 //! * [`synthetic`] — synthetic weight/activation generators calibrated to the

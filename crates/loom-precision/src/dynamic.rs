@@ -1,5 +1,5 @@
 //! Dynamic per-group activation precision detection (Lascorz et al.,
-//! "Dynamic Stripes"), as adopted by Loom: "LM determines [and] adjusts
+//! "Dynamic Stripes"), as adopted by Loom: "LM determines \[and\] adjusts
 //! precision per group of 256 activations that it processes concurrently. Per
 //! bit position OR trees produce a 16-bit vector indicating the positions where
 //! any of the activations has a 1. A leading one detector identifies the most

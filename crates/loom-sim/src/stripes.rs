@@ -1,4 +1,4 @@
-//! Stripes and Dynamic-Stripes comparators (§4, [7] and [5] in the paper).
+//! Stripes and Dynamic-Stripes comparators (§4, \[7\] and \[5\] in the paper).
 //!
 //! Stripes processes *activations* bit-serially while keeping weights
 //! bit-parallel, so its convolutional-layer execution time scales with the

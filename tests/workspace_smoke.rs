@@ -1,0 +1,55 @@
+//! Workspace wiring smoke test: every zoo network must construct and run
+//! through `evaluate_network` (all accelerators) without panicking. This
+//! guards the crate graph itself — if any crate's exports or the manifest
+//! wiring regress, this is the first suite to fail.
+
+use loom_core::experiment::{evaluate_network, ExperimentSettings};
+use loom_core::loom_model::zoo;
+use loom_core::loom_model::Network;
+use loom_core::loom_sim::engine::AcceleratorKind;
+
+fn smoke(net: &Network) {
+    assert!(!net.layers().is_empty(), "{} has no layers", net.name());
+    assert!(net.conv_macs() > 0, "{} has no conv work", net.name());
+    let eval = evaluate_network(net, &ExperimentSettings::default());
+    assert!(
+        eval.dpnn.total_cycles() > 0,
+        "{}: baseline simulated zero cycles",
+        net.name()
+    );
+    for kind in AcceleratorKind::all() {
+        if kind == AcceleratorKind::Dpnn {
+            continue; // the baseline itself; relatives are measured against it
+        }
+        let result = eval
+            .result_for(kind)
+            .unwrap_or_else(|| panic!("{}: no result for {kind:?}", net.name()));
+        assert!(
+            result.conv_speedup.is_finite() && result.conv_speedup > 0.0,
+            "{}: bad conv speedup for {kind:?}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn alexnet_evaluates() {
+    smoke(&zoo::alexnet());
+}
+
+#[test]
+fn nin_evaluates() {
+    smoke(&zoo::nin());
+}
+
+#[test]
+fn googlenet_evaluates() {
+    smoke(&zoo::googlenet());
+}
+
+#[test]
+fn vgg_networks_evaluate() {
+    smoke(&zoo::vgg_s());
+    smoke(&zoo::vgg_m());
+    smoke(&zoo::vgg19());
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal harness exposing the subset of the Criterion API the `loom-bench`
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then timed batches
+//! until ~200 ms have elapsed, reporting the mean wall-clock time per
+//! iteration — with none of Criterion's statistics, plots, or CLI. When run
+//! under `cargo test` (Cargo passes `--test` to bench targets) each benchmark
+//! executes a single iteration as a smoke test. Swap the workspace `criterion`
+//! entry back to a crates.io version for real measurements.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark in measurement mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Entry point handed to benchmark functions; collects per-benchmark timings.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Builds a harness. Measurement mode requires the `--bench` flag that
+    /// `cargo bench` passes to `harness = false` targets; any other invocation
+    /// (`cargo test --benches`, running the binary directly, or an explicit
+    /// `--test`) runs each routine once as a smoke test.
+    fn default() -> Self {
+        let mut args = std::env::args();
+        let measure = args.any(|a| a == "--bench") && !std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode: !measure,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean: None,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A set of related benchmarks reported under a common name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group, parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            mean: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Finishes the group. (The real Criterion emits summary statistics here;
+    /// this stand-in reports per-benchmark, so there is nothing left to do.)
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterised benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Timer handed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    test_mode: bool,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` and records the mean per-iteration
+    /// wall-clock time. In test mode runs the routine exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // takes at least ~1 ms, so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: timed batches until the budget is spent.
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < MEASURE_BUDGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.mean {
+        Some(mean) => println!("bench: {name:<50} {:>12.1} ns/iter", mean.as_nanos() as f64),
+        None if b.test_mode => println!("bench: {name:<50} ok (test mode)"),
+        None => println!("bench: {name:<50} (no iter() call)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| b.iter(|| seen = x));
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal property-testing harness exposing the subset of the proptest API
+//! this repository uses: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), integer-range and [`any`] strategies,
+//! [`prop::collection::vec`], and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] assertion macros.
+//!
+//! Unlike the real proptest there is **no shrinking** and no persistent
+//! failure file: each test runs a fixed number of deterministic cases (the
+//! per-case RNG is seeded from the case index), and a failing case panics
+//! with its case number so it can be reproduced by rerunning the test.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::rngs::StdRng;
+use rand::{Random, RngCore, SampleRange, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Builds a config that runs `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property-test assertion (returned by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Generates values of a given type; implemented by ranges, [`any`], and the
+/// combinators in [`prop`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+impl<T: Copy> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        SampleRange::sample(self.clone(), rng)
+    }
+}
+
+impl<T: Copy> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        SampleRange::sample(self.clone(), rng)
+    }
+}
+
+/// Strategy producing uniformly distributed values of the whole type; built by
+/// [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns a strategy sampling the full range of `T` uniformly.
+pub fn any<T: Random>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Random> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::random(rng)
+    }
+}
+
+pub mod prop {
+    //! Strategy combinators, namespaced as in the real proptest.
+
+    pub mod collection {
+        //! Strategies for collections.
+
+        use crate::Strategy;
+        use rand::{RngCore, SampleRange};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with element strategy `S` and a random length
+        /// drawn from a range; built by [`vec()`].
+        pub struct VecStrategy<S> {
+            element: S,
+            length: Range<usize>,
+        }
+
+        /// Returns a strategy producing `Vec`s whose length is drawn from
+        /// `length` and whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, length }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample_value<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value {
+                let len = SampleRange::sample(self.length.clone(), rng);
+                (0..len).map(|_| self.element.sample_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Drives the cases of one property; used by the [`proptest!`] expansion.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Builds a runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Deterministic per-case RNG: depends only on the case index, so a
+    /// failure report's case number fully reproduces the inputs.
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(
+            0x5052_4F50_5445_5354 ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+/// Declares property tests. Mirrors the real proptest macro for the forms this
+/// repository uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn property(x in 0u8..=16, seed in any::<u64>()) {
+///         prop_assert!(x <= 16);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each property function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::TestRunner::new($cfg);
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property '{}' failed at case {}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case,
+                        e.message(),
+                        format!(concat!($(stringify!($arg), " = {:?}  ",)+), $(&$arg),+),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, failing the current case
+/// (with both values reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed:\n  left: {left:?}\n right: {right:?}",
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body, failing the current case
+/// (with both values reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed: both sides are {left:?}",
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// The real proptest rejects the case and draws a replacement; this stand-in
+/// simply ends the case successfully, which preserves soundness (no false
+/// failures) at the cost of running slightly fewer effective cases.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, as in the real proptest.
+
+    pub use crate::prop;
+    pub use crate::{any, Any, ProptestConfig, Strategy, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u8..=16, y in 3usize..10, seed in any::<u64>()) {
+            prop_assert!((1..=16).contains(&x));
+            prop_assert!((3..10).contains(&y));
+            // Touch `seed` so the strategy is exercised.
+            prop_assert!(seed == seed);
+        }
+
+        #[test]
+        fn vectors_respect_length_and_element_ranges(v in prop::collection::vec(-5i32..=5, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (-5..=5).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let runner = TestRunner::new(ProptestConfig::with_cases(4));
+        let a: u64 = any::<u64>().sample_value(&mut runner.rng_for_case(2));
+        let b: u64 = any::<u64>().sample_value(&mut runner.rng_for_case(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_assert_failure_is_reported() {
+        fn failing() -> Result<(), TestCaseError> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        }
+        let err = failing().unwrap_err();
+        assert!(err.message().contains("prop_assert_eq failed"));
+    }
+}
