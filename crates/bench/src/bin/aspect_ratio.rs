@@ -8,14 +8,18 @@
 //! under-utilisation of layers with few windows (late, small feature maps) and
 //! shrink the dynamic-precision group, increasing its benefit — the study shows
 //! where the paper's 128×16 choice sits.
+//!
+//! Each arrangement is just a custom [`Accelerator`] instance
+//! (`Loom::with_geometry`) run through the same trait machinery as the
+//! built-in backends.
 
 use loom_core::experiment::{build_assignment, ExperimentSettings};
 use loom_core::loom_model::zoo;
-use loom_core::loom_sim::config::LoomGeometry;
+use loom_core::loom_sim::accelerator::{Accelerator, Loom};
+use loom_core::loom_sim::config::{LoomGeometry, LoomVariant};
 use loom_core::loom_sim::counts::geomean;
-use loom_core::loom_sim::engine::{AcceleratorKind, Simulator};
-use loom_core::loom_sim::loom::{conv_schedule, fc_schedule};
-use loom_core::loom_sim::LayerClass;
+use loom_core::loom_sim::engine::AcceleratorKind;
+use loom_core::loom_sim::Simulator;
 use loom_core::report::TextTable;
 
 fn main() {
@@ -39,49 +43,19 @@ fn main() {
             sip_lanes: 16,
             act_bits_per_cycle: 1,
         };
+        let custom = Loom::with_geometry(LoomVariant::Lm1b, geometry);
         let mut conv = Vec::new();
         let mut fc = Vec::new();
         let mut all = Vec::new();
         for net in zoo::all() {
             let assignment = build_assignment(&net, &settings);
             let dpnn = simulator.simulate(AcceleratorKind::Dpnn, &net, &assignment);
-            // Re-simulate Loom layer by layer with the custom geometry.
-            let mut conv_cycles = 0u64;
-            let mut fc_cycles_total = 0u64;
-            let mut compute_idx = 0usize;
-            for layer in net.layers() {
-                if !layer.kind.is_compute() {
-                    continue;
-                }
-                let spec = assignment.for_layer(compute_idx);
-                compute_idx += 1;
-                match &layer.kind {
-                    loom_core::loom_model::LayerKind::Conv(c) => {
-                        conv_cycles += conv_schedule(&geometry, c, &spec).cycles;
-                    }
-                    loom_core::loom_model::LayerKind::FullyConnected(f) => {
-                        fc_cycles_total += fc_schedule(&geometry, f, &spec, true).cycles;
-                    }
-                    loom_core::loom_model::LayerKind::MaxPool(_) => {}
-                }
+            let lm = custom.simulate_network(&net, &assignment);
+            conv.push(lm.conv_speedup_vs(&dpnn));
+            if dpnn.fc_cycles() > 0 {
+                fc.push(lm.fc_speedup_vs(&dpnn));
             }
-            let dpnn_conv = dpnn
-                .layers
-                .iter()
-                .filter(|l| l.class == LayerClass::Conv)
-                .map(|l| l.cycles)
-                .sum::<u64>();
-            let dpnn_fc = dpnn
-                .layers
-                .iter()
-                .filter(|l| l.class == LayerClass::FullyConnected)
-                .map(|l| l.cycles)
-                .sum::<u64>();
-            conv.push(dpnn_conv as f64 / conv_cycles.max(1) as f64);
-            if dpnn_fc > 0 {
-                fc.push(dpnn_fc as f64 / fc_cycles_total.max(1) as f64);
-            }
-            all.push((dpnn_conv + dpnn_fc) as f64 / (conv_cycles + fc_cycles_total).max(1) as f64);
+            all.push(lm.speedup_vs(&dpnn));
         }
         table.row(vec![
             format!("{rows} x {cols}"),

@@ -1,0 +1,112 @@
+//! Sweep benchmark: times the full (network × accelerator) simulation matrix
+//! serially and in parallel, checks the two produce bit-identical results,
+//! and emits a machine-readable `BENCH_sweep.json` with the wall-clocks and
+//! per-accelerator cycle totals. CI runs this as a smoke step.
+//!
+//! Accepts `--threads N` / `LOOM_THREADS` (parallel worker count) and
+//! `--filter <network|accelerator>` (restrict the matrix).
+
+use loom_core::experiment::ExperimentSettings;
+use loom_core::export::{sweep_bench_to_json, SweepBenchReport};
+use loom_core::loom_model::network::Network;
+use loom_core::loom_model::zoo;
+use loom_core::loom_sim::counts::NetworkSim;
+use loom_core::loom_sim::engine::AcceleratorKind;
+use loom_core::sweep::{SweepOptions, SweepRunner};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs every (network, accelerator) pair on a fresh runner and returns the
+/// sims in job order plus the elapsed wall-clock seconds.
+fn run_matrix(
+    threads: usize,
+    networks: &[Network],
+    kinds: &[AcceleratorKind],
+    settings: &ExperimentSettings,
+) -> (Vec<Arc<NetworkSim>>, f64) {
+    let runner = SweepRunner::new(threads);
+    let jobs: Vec<(usize, AcceleratorKind)> = (0..networks.len())
+        .flat_map(|ni| kinds.iter().map(move |&k| (ni, k)))
+        .collect();
+    let started = Instant::now();
+    let sims = runner.parallel_map(&jobs, |&(ni, kind)| {
+        runner.simulate(&networks[ni], kind, settings)
+    });
+    (sims, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let options = SweepOptions::from_env();
+    let zoo_networks = zoo::all();
+    let all_kinds = AcceleratorKind::all();
+    let names = zoo_networks
+        .iter()
+        .map(|n| n.name().to_string())
+        .chain(all_kinds.iter().map(|k| k.to_string()));
+    if options.matches_nothing_in(names) {
+        eprintln!(
+            "warning: --filter {:?} matches no network or accelerator; running the full matrix",
+            options.filter.as_deref().unwrap_or("")
+        );
+    }
+    let (networks, kinds) = options.apply(zoo_networks, all_kinds);
+    let settings = ExperimentSettings::default();
+    println!(
+        "Sweep benchmark: {} networks x {} accelerators, serial vs {} threads",
+        networks.len(),
+        kinds.len(),
+        options.threads
+    );
+
+    let (serial_sims, serial_seconds) = run_matrix(1, &networks, &kinds, &settings);
+    let (parallel_sims, parallel_seconds) =
+        run_matrix(options.threads, &networks, &kinds, &settings);
+
+    let results_identical = serial_sims
+        .iter()
+        .zip(parallel_sims.iter())
+        .all(|(s, p)| s.as_ref() == p.as_ref());
+
+    let per_accelerator_cycles: Vec<(String, u64)> = kinds
+        .iter()
+        .enumerate()
+        .map(|(ki, kind)| {
+            let total: u64 = (0..networks.len())
+                .map(|ni| serial_sims[ni * kinds.len() + ki].total_cycles())
+                .sum();
+            (kind.to_string(), total)
+        })
+        .collect();
+
+    let report = SweepBenchReport {
+        threads: options.threads,
+        jobs: networks.len() * kinds.len(),
+        serial_seconds,
+        parallel_seconds,
+        results_identical,
+        per_accelerator_cycles,
+    };
+
+    println!(
+        "  serial   : {:.3}s\n  parallel : {:.3}s ({} threads) -> {:.2}x\n  identical: {}",
+        report.serial_seconds,
+        report.parallel_seconds,
+        report.threads,
+        report.speedup(),
+        report.results_identical
+    );
+    for (name, cycles) in &report.per_accelerator_cycles {
+        println!("  {name:<12} {cycles} total cycles");
+    }
+
+    let json = sweep_bench_to_json(&report);
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => println!("Wrote BENCH_sweep.json"),
+        Err(e) => eprintln!("Could not write BENCH_sweep.json: {e}"),
+    }
+
+    if !results_identical {
+        eprintln!("ERROR: parallel sweep results diverged from the serial sweep");
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,16 @@
 //! Reproduces Table 2: relative execution time speedup and energy efficiency
 //! of Stripes and the Loom variants over DPNN, for fully-connected and
 //! convolutional layers, under the 100% and 99% accuracy profiles.
+//!
+//! Accepts `--threads N` / `LOOM_THREADS` to fan the sweep across workers.
 
 use loom_core::loom_precision::AccuracyTarget;
-use loom_core::tables::table2;
+use loom_core::sweep::{SweepOptions, SweepRunner};
+use loom_core::tables::table2_with;
 
 fn main() {
+    let runner = SweepRunner::from_options(&SweepOptions::from_env());
     for target in [AccuracyTarget::Lossless, AccuracyTarget::Relative99] {
-        println!("{}", table2(target).render());
+        println!("{}", table2_with(&runner, target).render());
     }
 }

@@ -14,9 +14,13 @@ fn main() {
         "area",
         "ablation",
         "aspect_ratio",
+        "sweep_bench",
         "all",
     ] {
         println!("  cargo run --release -p loom-bench --bin {bin}");
     }
     println!("or `cargo bench` for the Criterion micro-benchmarks.");
+    println!(
+        "Sweep binaries accept --threads N (or LOOM_THREADS) and --filter <network|accelerator>."
+    );
 }

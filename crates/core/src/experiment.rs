@@ -14,7 +14,7 @@ use loom_sim::engine::{assignment_from_profile, AcceleratorKind, PrecisionAssign
 use loom_sim::{EquivalentConfig, LoomVariant};
 
 /// Which weight-precision granularity an experiment uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WeightGranularity {
     /// One weight precision per network/layer as in Table 1 (Table 2, Figure 4).
     PerLayerProfile,
@@ -23,7 +23,10 @@ pub enum WeightGranularity {
 }
 
 /// Settings for one experimental run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Settings are `Eq + Hash` so they can key the sweep runner's memoizing
+/// result cache (see [`crate::sweep`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExperimentSettings {
     /// Design point (equivalent peak MACs per cycle).
     pub config: EquivalentConfig,
@@ -130,34 +133,57 @@ impl NetworkEvaluation {
     }
 }
 
-/// Runs `network` under `settings` on the baseline and all comparators.
-pub fn evaluate_network(network: &Network, settings: &ExperimentSettings) -> NetworkEvaluation {
-    let assignment = build_assignment(network, settings);
-    let simulator = Simulator::new(settings.config);
-    let energy = EnergyModel::new(settings.config);
-    let dpnn = simulator.simulate(AcceleratorKind::Dpnn, network, &assignment);
-
-    let comparators = [
+/// The non-baseline accelerators every evaluation compares against DPNN, in
+/// table order.
+pub fn comparator_kinds() -> [AcceleratorKind; 5] {
+    [
         AcceleratorKind::Stripes,
         AcceleratorKind::DStripes,
         AcceleratorKind::Loom(LoomVariant::Lm1b),
         AcceleratorKind::Loom(LoomVariant::Lm2b),
         AcceleratorKind::Loom(LoomVariant::Lm4b),
-    ];
-    let relatives = comparators
-        .iter()
-        .map(|&kind| {
-            let sim = simulator.simulate(kind, network, &assignment);
-            (kind, relative_result(&energy, &dpnn, &sim, kind))
-        })
-        .collect();
+    ]
+}
 
+/// Assembles a [`NetworkEvaluation`] from already-simulated runs: the DPNN
+/// baseline plus one [`NetworkSim`] per comparator. This is the common tail
+/// of the serial path ([`evaluate_network`]) and the parallel sweep runner
+/// ([`crate::sweep::SweepRunner`]), which produce the sims differently but
+/// must attach energy and relative results identically.
+pub fn assemble_evaluation<'a>(
+    network: &Network,
+    settings: &ExperimentSettings,
+    dpnn: NetworkSim,
+    comparator_sims: impl IntoIterator<Item = (AcceleratorKind, &'a NetworkSim)>,
+) -> NetworkEvaluation {
+    let energy = EnergyModel::new(settings.config);
+    let relatives = comparator_sims
+        .into_iter()
+        .map(|(kind, sim)| (kind, relative_result(&energy, &dpnn, sim, kind)))
+        .collect();
     NetworkEvaluation {
         network: network.name().to_string(),
         has_fc: network.fc_layers().count() > 0,
         dpnn,
         relatives,
     }
+}
+
+/// Runs `network` under `settings` on the baseline and all comparators.
+pub fn evaluate_network(network: &Network, settings: &ExperimentSettings) -> NetworkEvaluation {
+    let assignment = build_assignment(network, settings);
+    let simulator = Simulator::new(settings.config);
+    let dpnn = simulator.simulate(AcceleratorKind::Dpnn, network, &assignment);
+    let comparator_sims: Vec<(AcceleratorKind, NetworkSim)> = comparator_kinds()
+        .iter()
+        .map(|&kind| (kind, simulator.simulate(kind, network, &assignment)))
+        .collect();
+    assemble_evaluation(
+        network,
+        settings,
+        dpnn,
+        comparator_sims.iter().map(|(k, s)| (*k, s)),
+    )
 }
 
 /// Evaluates all six paper networks under `settings`, in table order.

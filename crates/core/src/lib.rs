@@ -7,6 +7,8 @@
 //!
 //! * [`experiment`] — precision-assignment construction and per-network
 //!   evaluation of every accelerator (DPNN, Stripes, DStripes, LM1b/2b/4b).
+//! * [`sweep`] — the parallel sweep runner: fans (network × accelerator ×
+//!   settings) jobs across worker threads with a memoizing result cache.
 //! * [`tables`] — Table 2, Table 4 and Figure 4 reproductions.
 //! * [`scaling`] — the Figure 5 scaling study with a realistic memory system.
 //! * [`report`] — plain-text table rendering shared by the reproduction
@@ -33,11 +35,13 @@ pub mod experiment;
 pub mod export;
 pub mod report;
 pub mod scaling;
+pub mod sweep;
 pub mod tables;
 
 pub use experiment::{evaluate_all_networks, evaluate_network, ExperimentSettings};
-pub use scaling::{figure5, Figure5};
-pub use tables::{figure4, table2, table4};
+pub use scaling::{figure5, figure5_with, Figure5};
+pub use sweep::{SweepOptions, SweepRunner};
+pub use tables::{figure4, figure4_with, table2, table2_with, table4, table4_with};
 
 // Re-export the crates a downstream user needs to drive the library without
 // having to depend on each one individually.

@@ -3,8 +3,8 @@
 //! 32 to 512 MACs/cycle, with a realistic memory hierarchy (finite activation
 //! memory, single-channel LPDDR4-4267 off-chip memory).
 
-use crate::experiment::build_assignment;
 use crate::experiment::ExperimentSettings;
+use crate::sweep::SweepRunner;
 use loom_energy::area::area;
 use loom_energy::EnergyModel;
 use loom_mem::hierarchy::{required_am_bytes, MemoryConfig, MemorySystem};
@@ -14,7 +14,7 @@ use loom_model::zoo;
 use loom_model::Precision;
 use loom_precision::table1;
 use loom_sim::counts::{geomean, NetworkSim};
-use loom_sim::engine::{AcceleratorKind, Simulator};
+use loom_sim::engine::AcceleratorKind;
 use loom_sim::{EquivalentConfig, LoomVariant};
 
 /// One design point of the scaling study.
@@ -75,21 +75,25 @@ fn frame_cycles(sim: &NetworkSim, network: &Network, system: &MemorySystem) -> u
         .sum()
 }
 
-/// Runs the full scaling sweep (all six networks, geomean aggregation).
+/// Runs the full scaling sweep (all six networks, geomean aggregation)
+/// serially.
 pub fn figure5() -> Figure5 {
-    let points = EquivalentConfig::scaling_sweep()
-        .into_iter()
-        .map(|config| scaling_point(config))
-        .collect();
+    figure5_with(&SweepRunner::serial())
+}
+
+/// Runs the full scaling sweep using `runner`, fanning the design points
+/// across its worker pool and memoizing the per-point simulations.
+pub fn figure5_with(runner: &SweepRunner) -> Figure5 {
+    let configs = EquivalentConfig::scaling_sweep();
+    let points = runner.parallel_map(&configs, |&config| scaling_point(runner, config));
     Figure5 { points }
 }
 
-fn scaling_point(config: EquivalentConfig) -> ScalingPoint {
+fn scaling_point(runner: &SweepRunner, config: EquivalentConfig) -> ScalingPoint {
     let settings = ExperimentSettings {
         config,
         ..Default::default()
     };
-    let simulator = Simulator::new(config);
     let energy = EnergyModel::new(config);
     let wm = weight_memory_bytes(config.macs_per_cycle());
 
@@ -102,7 +106,6 @@ fn scaling_point(config: EquivalentConfig) -> ScalingPoint {
     let mut efficiency = Vec::new();
 
     for network in zoo::all() {
-        let assignment = build_assignment(&network, &settings);
         // DPNN keeps 16-bit data and needs the 2 MB AM of §4.5; Loom's packed
         // storage fits the same layers in 1 MB.
         let dpnn_system = MemorySystem::with_lpddr4(MemoryConfig {
@@ -114,13 +117,13 @@ fn scaling_point(config: EquivalentConfig) -> ScalingPoint {
             wm_bytes: wm,
         });
 
-        let dpnn = simulator.simulate(AcceleratorKind::Dpnn, &network, &assignment);
-        let lm = simulator.simulate(
-            AcceleratorKind::Loom(LoomVariant::Lm1b),
+        let dpnn = runner.simulate(&network, AcceleratorKind::Dpnn, &settings);
+        let lm = runner.simulate(
             &network,
-            &assignment,
+            AcceleratorKind::Loom(LoomVariant::Lm1b),
+            &settings,
         );
-        let ds = simulator.simulate(AcceleratorKind::DStripes, &network, &assignment);
+        let ds = runner.simulate(&network, AcceleratorKind::DStripes, &settings);
 
         let dpnn_frame = frame_cycles(&dpnn, &network, &dpnn_system);
         let lm_frame = frame_cycles(&lm, &network, &loom_system);

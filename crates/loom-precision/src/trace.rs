@@ -97,6 +97,19 @@ impl LayerPrecisionSpec {
         }
     }
 
+    /// A borrowed full-precision spec with `'static` lifetime, for hot paths
+    /// that need a fallback spec without allocating (see
+    /// `PrecisionAssignment::for_layer` in `loom-sim`).
+    pub fn full_precision_static() -> &'static LayerPrecisionSpec {
+        static FULL: LayerPrecisionSpec = LayerPrecisionSpec {
+            activation: Precision::FULL,
+            weight: Precision::FULL,
+            dynamic_activation: GroupPrecisionSource::Nominal,
+            group_weight: GroupPrecisionSource::Nominal,
+        };
+        &FULL
+    }
+
     /// A spec using profile precisions only (no runtime detection), as the
     /// `Stripes` comparator and the static-profile Loom rows use.
     pub fn static_profile(activation: Precision, weight: Precision) -> Self {

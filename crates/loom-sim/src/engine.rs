@@ -1,14 +1,16 @@
 //! The unified simulation front end: one entry point that runs any evaluated
 //! accelerator over any network given a per-layer precision assignment.
+//!
+//! The engine itself contains no per-datapath logic: every datapath is an
+//! implementation of [`crate::accelerator::Accelerator`], and the
+//! [`Simulator`] dispatches through a [`Registry`] keyed by
+//! [`AcceleratorKind`] (which stays the compact, serializable key the tables,
+//! CSV export and energy model use).
 
+use crate::accelerator::{Accelerator, Registry};
 use crate::config::{EquivalentConfig, LoomVariant};
-use crate::counts::{LayerClass, LayerSim, NetworkSim};
-use crate::loom::schedule::{conv_schedule, fc_schedule};
-use crate::{dpnn, stripes};
-use loom_mem::traffic::{layer_traffic, StoragePrecision};
-use loom_model::layer::LayerKind;
+use crate::counts::NetworkSim;
 use loom_model::network::Network;
-use loom_model::Precision;
 use loom_precision::trace::{GroupPrecisionSource, LayerPrecisionSpec};
 use std::fmt;
 
@@ -75,11 +77,13 @@ impl PrecisionAssignment {
     }
 
     /// The spec for compute layer `index`, falling back to full precision.
-    pub fn for_layer(&self, index: usize) -> LayerPrecisionSpec {
+    ///
+    /// Returns a borrow — this is on the per-layer hot path of every sweep,
+    /// and the spec holds per-group `Vec`s that must not be cloned per call.
+    pub fn for_layer(&self, index: usize) -> &LayerPrecisionSpec {
         self.specs
             .get(index)
-            .cloned()
-            .unwrap_or_else(LayerPrecisionSpec::full_precision)
+            .unwrap_or_else(|| LayerPrecisionSpec::full_precision_static())
     }
 
     /// Number of per-layer specs.
@@ -93,28 +97,62 @@ impl PrecisionAssignment {
     }
 }
 
-/// The cycle-level simulator for one design point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The cycle-level simulator for one design point: a [`Registry`] of
+/// accelerators plus the shared configuration.
+#[derive(Debug)]
 pub struct Simulator {
     config: EquivalentConfig,
+    registry: Registry,
 }
 
 impl Simulator {
-    /// Creates a simulator at the given equivalent compute bandwidth.
+    /// Creates a simulator at the given equivalent compute bandwidth with the
+    /// six built-in accelerators registered.
     pub fn new(config: EquivalentConfig) -> Self {
-        Simulator { config }
+        Simulator {
+            config,
+            registry: Registry::with_defaults(config),
+        }
+    }
+
+    /// Creates a simulator around a custom registry (e.g. with an
+    /// experimental backend swapped in behind an existing kind).
+    pub fn with_registry(registry: Registry) -> Self {
+        Simulator {
+            config: registry.config(),
+            registry,
+        }
     }
 
     /// The paper's headline 128 MAC-equivalent configuration.
     pub fn baseline_128() -> Self {
-        Simulator {
-            config: EquivalentConfig::BASELINE_128,
-        }
+        Simulator::new(EquivalentConfig::BASELINE_128)
     }
 
     /// The design point this simulator models.
     pub fn config(&self) -> EquivalentConfig {
         self.config
+    }
+
+    /// The accelerator registry this simulator dispatches through.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry, for registering custom backends.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The registered accelerator for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no accelerator is registered for `kind`.
+    pub fn accelerator(&self, kind: AcceleratorKind) -> &dyn Accelerator {
+        self.registry
+            .get(kind)
+            .unwrap_or_else(|| panic!("no accelerator registered for {kind}"))
     }
 
     /// Simulates `network` on `kind` under `assignment` and returns the
@@ -125,140 +163,7 @@ impl Simulator {
         network: &Network,
         assignment: &PrecisionAssignment,
     ) -> NetworkSim {
-        let mut layers = Vec::with_capacity(network.layers().len());
-        let mut compute_idx = 0usize;
-        for layer in network.layers() {
-            let spec = if layer.kind.is_compute() {
-                let s = assignment.for_layer(compute_idx);
-                compute_idx += 1;
-                s
-            } else {
-                LayerPrecisionSpec::full_precision()
-            };
-            layers.push(self.simulate_layer(kind, &layer.name, &layer.kind, &spec));
-        }
-        NetworkSim {
-            accelerator: kind.to_string(),
-            network: network.name().to_string(),
-            layers,
-        }
-    }
-
-    /// Simulates a single layer.
-    pub fn simulate_layer(
-        &self,
-        kind: AcceleratorKind,
-        name: &str,
-        layer: &LayerKind,
-        precision: &LayerPrecisionSpec,
-    ) -> LayerSim {
-        let storage = self.storage_precision(kind, layer, precision);
-        let traffic = layer_traffic(layer, storage);
-        let (class, cycles, utilization) = match layer {
-            LayerKind::Conv(spec) => {
-                let (cycles, utilization) = self.conv_cycles(kind, spec, precision);
-                (LayerClass::Conv, cycles, utilization)
-            }
-            LayerKind::FullyConnected(spec) => {
-                let (cycles, utilization) = self.fc_cycles(kind, spec, precision);
-                (LayerClass::FullyConnected, cycles, utilization)
-            }
-            LayerKind::MaxPool(_) => (LayerClass::Other, 0, 1.0),
-        };
-        LayerSim {
-            layer_name: name.to_string(),
-            class,
-            macs: layer.macs(),
-            cycles,
-            utilization,
-            storage,
-            traffic,
-        }
-    }
-
-    fn conv_cycles(
-        &self,
-        kind: AcceleratorKind,
-        spec: &loom_model::layer::ConvSpec,
-        precision: &LayerPrecisionSpec,
-    ) -> (u64, f64) {
-        match kind {
-            AcceleratorKind::Dpnn => {
-                let g = self.config.dpnn();
-                (
-                    dpnn::conv_cycles(&g, spec),
-                    dpnn::conv_utilization(&g, spec),
-                )
-            }
-            AcceleratorKind::Stripes => {
-                let g = self.config.dpnn();
-                (
-                    stripes::conv_cycles_static(&g, spec, precision.activation),
-                    dpnn::conv_utilization(&g, spec),
-                )
-            }
-            AcceleratorKind::DStripes => {
-                let g = self.config.dpnn();
-                (
-                    stripes::conv_cycles_dynamic(
-                        &g,
-                        spec,
-                        precision.activation,
-                        &precision.dynamic_activation,
-                    ),
-                    dpnn::conv_utilization(&g, spec),
-                )
-            }
-            AcceleratorKind::Loom(variant) => {
-                let g = self.config.loom(variant);
-                let r = conv_schedule(&g, spec, precision);
-                (r.cycles, r.utilization)
-            }
-        }
-    }
-
-    fn fc_cycles(
-        &self,
-        kind: AcceleratorKind,
-        spec: &loom_model::layer::FcSpec,
-        precision: &LayerPrecisionSpec,
-    ) -> (u64, f64) {
-        match kind {
-            AcceleratorKind::Dpnn | AcceleratorKind::Stripes | AcceleratorKind::DStripes => {
-                let g = self.config.dpnn();
-                (dpnn::fc_cycles(&g, spec), dpnn::fc_utilization(&g, spec))
-            }
-            AcceleratorKind::Loom(variant) => {
-                let g = self.config.loom(variant);
-                let r = fc_schedule(&g, spec, precision, true);
-                (r.cycles, r.utilization)
-            }
-        }
-    }
-
-    /// The precision each accelerator stores a layer's data at: the baseline
-    /// keeps 16 bits; Stripes/DStripes pack activations at the profile
-    /// precision (their memory interface is bit-serial for activations); Loom
-    /// packs both activations and weights.
-    fn storage_precision(
-        &self,
-        kind: AcceleratorKind,
-        layer: &LayerKind,
-        precision: &LayerPrecisionSpec,
-    ) -> StoragePrecision {
-        match kind {
-            AcceleratorKind::Dpnn => StoragePrecision::baseline(),
-            AcceleratorKind::Stripes | AcceleratorKind::DStripes => {
-                if layer.is_conv() {
-                    StoragePrecision::packed(precision.activation, Precision::FULL)
-                } else {
-                    StoragePrecision::baseline()
-                }
-            }
-            AcceleratorKind::Loom(_) => {
-                StoragePrecision::packed(precision.activation, precision.weight)
-            }
-        }
+        self.accelerator(kind).simulate_network(network, assignment)
     }
 }
 
@@ -422,7 +327,26 @@ mod tests {
         let (net, assignment) = alexnet_assignment(None);
         assert_eq!(assignment.len(), net.compute_layers().count());
         assert!(!assignment.is_empty());
-        // Out-of-range layers fall back to full precision.
+        // Out-of-range layers fall back to full precision, without cloning.
         assert_eq!(assignment.for_layer(999).activation.bits(), 16);
+        let a = assignment.for_layer(999) as *const LayerPrecisionSpec;
+        let b = assignment.for_layer(999) as *const LayerPrecisionSpec;
+        assert_eq!(a, b, "fallback spec is a shared static, not a fresh clone");
+    }
+
+    #[test]
+    fn simulator_exposes_its_registry() {
+        let sim = Simulator::baseline_128();
+        assert_eq!(sim.registry().len(), 6);
+        assert_eq!(sim.accelerator(AcceleratorKind::Dpnn).name(), "DPNN");
+        let mut custom = Simulator::with_registry(crate::accelerator::Registry::with_defaults(
+            EquivalentConfig::BASELINE_128,
+        ));
+        custom.registry_mut().register(crate::accelerator::build(
+            AcceleratorKind::Dpnn,
+            EquivalentConfig::BASELINE_128,
+        ));
+        assert_eq!(custom.registry().len(), 6);
+        assert_eq!(custom.config(), EquivalentConfig::BASELINE_128);
     }
 }

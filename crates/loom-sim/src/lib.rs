@@ -11,6 +11,9 @@
 //!   analytic convolutional / fully-connected schedules with dynamic
 //!   activation precisions, per-group weight precisions, SIP cascading and
 //!   the LM1b/LM2b/LM4b variants.
+//! * [`accelerator`] — the [`accelerator::Accelerator`] trait every datapath
+//!   implements, plus the [`accelerator::Registry`] the engine dispatches
+//!   through (add a backend by implementing the trait and registering it).
 //! * [`engine`] — the unified [`engine::Simulator`] front end.
 //! * [`counts`] — per-layer / per-network cycle and traffic records.
 //!
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod accelerator;
 pub mod config;
 pub mod counts;
 pub mod dpnn;
@@ -42,6 +46,7 @@ pub mod loom;
 pub mod stripes;
 pub mod validate;
 
+pub use accelerator::{Accelerator, GeometrySummary, LayerContext, Registry};
 pub use config::{EquivalentConfig, LoomVariant};
 pub use counts::{LayerClass, LayerSim, NetworkSim};
 pub use engine::{AcceleratorKind, PrecisionAssignment, Simulator};

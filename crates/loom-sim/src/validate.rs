@@ -104,6 +104,45 @@ pub fn validate_fc(
     )
 }
 
+/// Validates any [`crate::accelerator::Accelerator`] implementation whose
+/// analytic convolutional cycle model should agree with the bit-exact
+/// functional Loom engine: the functional outputs must match the golden
+/// reference and the trait impl's cycle count must match the functional run.
+///
+/// This is the check to run when registering a new Loom-like backend — it
+/// grounds the backend's fast cycle model in a datapath that demonstrably
+/// computes the right answers.
+///
+/// # Panics
+///
+/// Panics if `geometry` disagrees with the accelerator's own reported grid
+/// shape — comparing a functional run of one datapath against the analytic
+/// cycles of another would validate nothing.
+pub fn validate_accelerator_conv(
+    accelerator: &dyn crate::accelerator::Accelerator,
+    geometry: LoomGeometry,
+    spec: &ConvSpec,
+    input: &Tensor3,
+    weights: &Tensor4,
+    pa: Precision,
+    pw: Precision,
+) -> ValidationReport {
+    let summary = accelerator.geometry();
+    assert_eq!(
+        (summary.rows, summary.columns),
+        (geometry.filter_rows, geometry.window_columns),
+        "functional geometry does not match the accelerator's grid ({})",
+        accelerator.name()
+    );
+    let reference = conv_forward(spec, input, weights);
+    let functional = FunctionalLoom::new(geometry)
+        .without_dynamic_precision()
+        .run_conv(spec, input, weights, pa, pw);
+    let (cycles, _utilization) =
+        accelerator.conv_cycles(spec, &LayerPrecisionSpec::static_profile(pa, pw));
+    report(functional.outputs == reference, functional.cycles, cycles)
+}
+
 fn report(outputs_match: bool, functional_cycles: u64, analytic_cycles: u64) -> ValidationReport {
     let cycle_error = if analytic_cycles == 0 {
         if functional_cycles == 0 {
@@ -168,6 +207,14 @@ mod tests {
         assert!(r.outputs_match, "{r}");
         // The analytic model adds a one-cycle pipeline fill; otherwise exact.
         assert!(r.agrees_within(0.02), "{r}");
+
+        // The trait-based check must agree with the direct schedule check
+        // when the registered backend wraps the same analytic schedule.
+        let acc =
+            crate::accelerator::Loom::with_geometry(crate::config::LoomVariant::Lm1b, geometry());
+        let rt = validate_accelerator_conv(&acc, geometry(), &spec, &input, &weights, pa, pw);
+        assert_eq!(rt.analytic_cycles, r.analytic_cycles);
+        assert!(rt.agrees_within(0.02), "{rt}");
     }
 
     #[test]

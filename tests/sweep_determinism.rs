@@ -1,0 +1,90 @@
+//! Determinism suite for the parallel sweep runner: the fan-out across worker
+//! threads must change neither the values nor the ordering of any reproduced
+//! table or figure relative to the serial path.
+
+use loom_core::experiment::{evaluate_all_networks, ExperimentSettings};
+use loom_core::loom_precision::AccuracyTarget;
+use loom_core::scaling::{figure5, figure5_with};
+use loom_core::sweep::SweepRunner;
+use loom_core::tables::{figure4, figure4_with, table2, table2_with, table4, table4_with};
+
+/// Bit-wise float equality that also equates NaNs (absent layer classes are
+/// reported as NaN, and NaN != NaN under `==`).
+fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+#[test]
+fn parallel_zoo_evaluation_matches_serial_ordering_and_values() {
+    let settings = ExperimentSettings::default();
+    let serial = evaluate_all_networks(&settings);
+    let parallel = SweepRunner::new(4).evaluate_zoo(&settings);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.network, p.network, "network ordering must be stable");
+        assert_eq!(s.has_fc, p.has_fc);
+        assert_eq!(s.dpnn, p.dpnn, "baseline sims must be bit-identical");
+        let s_kinds: Vec<_> = s.relatives.iter().map(|(k, _)| *k).collect();
+        let p_kinds: Vec<_> = p.relatives.iter().map(|(k, _)| *k).collect();
+        assert_eq!(s_kinds, p_kinds, "comparator ordering must be stable");
+        for ((_, sr), (_, pr)) in s.relatives.iter().zip(p.relatives.iter()) {
+            assert!(same_bits(sr.conv_speedup, pr.conv_speedup));
+            assert!(same_bits(sr.fc_speedup, pr.fc_speedup));
+            assert!(same_bits(sr.all_speedup, pr.all_speedup));
+            assert!(same_bits(sr.conv_efficiency, pr.conv_efficiency));
+            assert!(same_bits(sr.fc_efficiency, pr.fc_efficiency));
+            assert!(same_bits(sr.all_efficiency, pr.all_efficiency));
+        }
+    }
+}
+
+#[test]
+fn parallel_table2_renders_identically_to_serial() {
+    let runner = SweepRunner::new(4);
+    let serial = table2(AccuracyTarget::Lossless);
+    let parallel = table2_with(&runner, AccuracyTarget::Lossless);
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn parallel_table4_and_figure4_render_identically_to_serial() {
+    let runner = SweepRunner::new(4);
+    assert_eq!(table4().render(), table4_with(&runner).render());
+    assert_eq!(figure4().render(), figure4_with(&runner).render());
+}
+
+#[test]
+fn parallel_figure5_matches_serial_points() {
+    let runner = SweepRunner::new(4);
+    let serial = figure5();
+    let parallel = figure5_with(&runner);
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (s, p) in serial.points.iter().zip(parallel.points.iter()) {
+        assert_eq!(s.config, p.config, "design-point ordering must be stable");
+        assert!(same_bits(s.loom_all, p.loom_all));
+        assert!(same_bits(s.loom_conv, p.loom_conv));
+        assert!(same_bits(s.dstripes_all, p.dstripes_all));
+        assert!(same_bits(s.dstripes_conv, p.dstripes_conv));
+        assert!(same_bits(s.loom_fps_all, p.loom_fps_all));
+        assert!(same_bits(s.loom_fps_conv, p.loom_fps_conv));
+        assert_eq!(s.weight_memory_bytes, p.weight_memory_bytes);
+        assert!(same_bits(s.area_overhead, p.area_overhead));
+        assert!(same_bits(s.energy_efficiency, p.energy_efficiency));
+    }
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn runner_cache_is_reused_across_tables() {
+    // `table2(Lossless)` and `figure4` share the default-settings sweep: the
+    // second call must add no new simulations beyond what it truly needs.
+    let runner = SweepRunner::new(2);
+    let _ = table2_with(&runner, AccuracyTarget::Lossless);
+    let after_table2 = runner.cached_results();
+    let _ = figure4_with(&runner);
+    assert_eq!(
+        runner.cached_results(),
+        after_table2,
+        "figure4 re-simulated results table2 already cached"
+    );
+}
