@@ -1,13 +1,18 @@
-//! Criterion micro-benchmarks of the bit-serial SIP kernel: the innermost
-//! operation of the whole simulator (16-lane serial inner product) at several
-//! operand precisions, against the bit-parallel reference.
+//! Criterion micro-benchmarks of the SIP kernel: the innermost operation of
+//! the whole simulator (16-lane serial inner product) at several operand
+//! precisions, three ways — the legacy bit-serial loop, the packed
+//! AND+popcount datapath (pre-transposed operands, plus a variant paying the
+//! transpose on every call), and the bit-parallel integer reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_core::loom_model::synthetic::{
     synthetic_activations, synthetic_weights, ValueDistribution,
 };
 use loom_core::loom_model::Precision;
-use loom_core::loom_sim::loom::{reference_inner_product, serial_inner_product};
+use loom_core::loom_sim::loom::{
+    packed_inner_product, packed_inner_product_slices, reference_inner_product,
+    serial_inner_product, BitplaneBlock,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -31,6 +36,29 @@ fn bench_sip(c: &mut Criterion) {
                 )
             })
         });
+        let w_block = BitplaneBlock::pack(&weights);
+        let a_block = BitplaneBlock::pack(&activations);
+        group.bench_with_input(BenchmarkId::new("packed", bits), &bits, |b, _| {
+            b.iter(|| {
+                packed_inner_product(black_box(&w_block), black_box(&a_block), p, p, true, false)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("packed_with_transpose", bits),
+            &bits,
+            |b, _| {
+                b.iter(|| {
+                    packed_inner_product_slices(
+                        black_box(&weights),
+                        black_box(&activations),
+                        p,
+                        p,
+                        true,
+                        false,
+                    )
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("bit_parallel_reference", bits),
             &bits,

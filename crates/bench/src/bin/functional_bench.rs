@@ -1,0 +1,180 @@
+//! Functional-engine benchmark: times the SIP kernels (legacy bit-serial vs
+//! packed AND+popcount) on 16-lane inner products at several precisions, then
+//! runs a mid-size convolutional layer through the functional Loom engine on
+//! both kernel paths, verifies the runs are bit-identical, and emits a
+//! machine-readable `BENCH_functional.json` with the wall-clocks and
+//! speedups. CI runs this as a smoke step and fails if the kernels ever
+//! disagree.
+
+use loom_core::export::{functional_bench_to_json, FunctionalBenchReport, KernelBench};
+use loom_core::loom_model::synthetic::{
+    synthetic_activations, synthetic_weights, ValueDistribution,
+};
+use loom_core::loom_model::tensor::{Tensor3, Tensor4};
+use loom_core::loom_model::{layer::ConvSpec, Precision};
+use loom_core::loom_sim::config::LoomGeometry;
+use loom_core::loom_sim::loom::{
+    packed_inner_product, serial_inner_product, BitplaneBlock, FunctionalLoom, SipKernel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `routine` with batch-size calibration (so `Instant` overhead stays
+/// negligible) until ~100 ms have elapsed; returns mean nanoseconds per call.
+fn time_ns<O, F: FnMut() -> O>(mut routine: F) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        if start.elapsed().as_millis() >= 1 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut iters = 0u64;
+    let mut total = 0u128;
+    while total < 100_000_000 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        total += start.elapsed().as_nanos();
+        iters += batch;
+    }
+    total as f64 / iters.max(1) as f64
+}
+
+/// Micro-benchmarks one 16-lane inner product at `bits`-bit operands on both
+/// kernels. The packed operands are pre-transposed, matching how the engine
+/// amortises packing across filters and windows.
+fn bench_kernel(rng: &mut StdRng, bits: u8) -> KernelBench {
+    let p = Precision::new(bits).unwrap();
+    let weights = synthetic_weights(rng, 16, p, ValueDistribution::weights());
+    let activations = synthetic_activations(rng, 16, p, ValueDistribution::activations());
+    let serial_ns = time_ns(|| {
+        serial_inner_product(
+            black_box(&weights),
+            black_box(&activations),
+            p,
+            p,
+            true,
+            false,
+        )
+    });
+    let w_block = BitplaneBlock::pack(&weights);
+    let a_block = BitplaneBlock::pack(&activations);
+    let packed_ns = time_ns(|| {
+        packed_inner_product(black_box(&w_block), black_box(&a_block), p, p, true, false)
+    });
+    KernelBench {
+        precision_bits: bits,
+        serial_ns,
+        packed_ns,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2018);
+    println!("SIP kernel: 16-lane inner product, bit-serial vs packed");
+    let kernels: Vec<KernelBench> = [4u8, 8, 16]
+        .iter()
+        .map(|&bits| {
+            let k = bench_kernel(&mut rng, bits);
+            println!(
+                "  {bits:>2}-bit: serial {:>9.1} ns  packed {:>7.1} ns  -> {:.1}x",
+                k.serial_ns,
+                k.packed_ns,
+                k.speedup()
+            );
+            k
+        })
+        .collect();
+
+    // A mid-size conv layer (VGG-scale channel counts on a small feature map)
+    // through both engine paths, dynamic precision enabled.
+    let spec = ConvSpec::simple(32, 16, 16, 32, 3);
+    let pa = Precision::new(8).unwrap();
+    let pw = Precision::new(8).unwrap();
+    let input = Tensor3::from_vec(
+        spec.input_shape(),
+        synthetic_activations(
+            &mut rng,
+            spec.input_shape().len(),
+            pa,
+            ValueDistribution::activations(),
+        ),
+    )
+    .unwrap();
+    let weights = Tensor4::from_vec(
+        spec.weight_shape(),
+        synthetic_weights(
+            &mut rng,
+            spec.weight_shape().len(),
+            pw,
+            ValueDistribution::weights(),
+        ),
+    )
+    .unwrap();
+    let geometry = LoomGeometry {
+        filter_rows: 16,
+        window_columns: 8,
+        sip_lanes: 16,
+        act_bits_per_cycle: 1,
+    };
+    let conv_layer = format!(
+        "conv {}x{}x{} -> {} filters k{} ({} MACs), Pa={pa} Pw={pw}",
+        spec.in_channels,
+        spec.in_height,
+        spec.in_width,
+        spec.filters,
+        spec.kernel_h,
+        spec.macs()
+    );
+    println!("Functional engine: {conv_layer}");
+
+    let serial_engine = FunctionalLoom::new(geometry).with_kernel(SipKernel::BitSerial);
+    let started = Instant::now();
+    let serial_run = serial_engine.run_conv(&spec, &input, &weights, pa, pw);
+    let conv_serial_seconds = started.elapsed().as_secs_f64();
+
+    let packed_engine = FunctionalLoom::new(geometry);
+    let started = Instant::now();
+    let packed_run = packed_engine.run_conv(&spec, &input, &weights, pa, pw);
+    let conv_packed_seconds = started.elapsed().as_secs_f64();
+
+    let kernels_agree = serial_run == packed_run;
+    let report = FunctionalBenchReport {
+        kernels,
+        conv_layer,
+        conv_serial_seconds,
+        conv_packed_seconds,
+        kernels_agree,
+    };
+    println!(
+        "  serial engine : {:.3}s\n  packed engine : {:.3}s -> {:.1}x\n  identical     : {}",
+        report.conv_serial_seconds,
+        report.conv_packed_seconds,
+        report.conv_speedup(),
+        report.kernels_agree
+    );
+
+    let json = functional_bench_to_json(&report);
+    match std::fs::write("BENCH_functional.json", &json) {
+        Ok(()) => println!("Wrote BENCH_functional.json"),
+        Err(e) => {
+            // Exit non-zero: a committed baseline exists at the repo root, so
+            // silently keeping it would let CI archive stale data as fresh.
+            eprintln!("ERROR: could not write BENCH_functional.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !kernels_agree {
+        eprintln!("ERROR: packed SIP kernel diverged from the legacy bit-serial kernel");
+        std::process::exit(1);
+    }
+}

@@ -197,6 +197,104 @@ pub fn sweep_bench_to_json(report: &SweepBenchReport) -> String {
     out
 }
 
+/// One kernel micro-benchmark point: nanoseconds per 16-lane inner product
+/// for the legacy bit-serial loop and the packed AND+popcount datapath at one
+/// operand precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBench {
+    /// Operand precision (both weights and activations), in bits.
+    pub precision_bits: u8,
+    /// Mean wall-clock per inner product for the bit-serial kernel.
+    pub serial_ns: f64,
+    /// Mean wall-clock per inner product for the packed kernel
+    /// (pre-transposed operands, as the engine amortises packing).
+    pub packed_ns: f64,
+}
+
+impl KernelBench {
+    /// Serial-over-packed speedup (1.0 when the packed time is 0).
+    pub fn speedup(&self) -> f64 {
+        if self.packed_ns > 0.0 {
+            self.serial_ns / self.packed_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One functional-benchmark measurement: the SIP kernel micro-benchmarks plus
+/// a mid-size convolutional layer run end to end through the functional engine
+/// on both kernels. Rendered as machine-readable JSON by
+/// [`functional_bench_to_json`] (consumed by CI as `BENCH_functional.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalBenchReport {
+    /// Kernel micro-benchmark points, one per operand precision.
+    pub kernels: Vec<KernelBench>,
+    /// Human-readable description of the benchmarked conv layer.
+    pub conv_layer: String,
+    /// Wall-clock seconds of the conv layer on the bit-serial engine path.
+    pub conv_serial_seconds: f64,
+    /// Wall-clock seconds of the conv layer on the packed engine path.
+    pub conv_packed_seconds: f64,
+    /// Whether the two engine paths produced identical functional runs
+    /// (outputs, cycles, and reduced groups). CI fails the job when false.
+    pub kernels_agree: bool,
+}
+
+impl FunctionalBenchReport {
+    /// Serial-over-packed wall-clock ratio for the conv layer (1.0 when the
+    /// packed time is 0).
+    pub fn conv_speedup(&self) -> f64 {
+        if self.conv_packed_seconds > 0.0 {
+            self.conv_serial_seconds / self.conv_packed_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Renders a [`FunctionalBenchReport`] as JSON (no external dependencies —
+/// the build environment has no serde).
+pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in report.kernels.iter().enumerate() {
+        let comma = if i + 1 < report.kernels.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"precision_bits\": {}, \"serial_ns\": {:.2}, \"packed_ns\": {:.2}, \"speedup\": {:.2}}}{comma}",
+            k.precision_bits,
+            k.serial_ns,
+            k.packed_ns,
+            k.speedup()
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"conv_layer\": {},",
+        json_string(&report.conv_layer)
+    );
+    let _ = writeln!(
+        out,
+        "  \"conv_serial_seconds\": {:.6},",
+        report.conv_serial_seconds
+    );
+    let _ = writeln!(
+        out,
+        "  \"conv_packed_seconds\": {:.6},",
+        report.conv_packed_seconds
+    );
+    let _ = writeln!(out, "  \"conv_speedup\": {:.4},", report.conv_speedup());
+    let _ = writeln!(out, "  \"kernels_agree\": {}", report.kernels_agree);
+    out.push_str("}\n");
+    out
+}
+
 /// Convenience: the accelerators in the order the CSV columns assume.
 pub fn csv_accelerator_order() -> [AcceleratorKind; 4] {
     use loom_sim::LoomVariant;
@@ -263,6 +361,47 @@ mod tests {
             ..report
         };
         assert_eq!(zero.speedup(), 1.0);
+    }
+
+    #[test]
+    fn functional_bench_json_is_well_formed() {
+        let report = FunctionalBenchReport {
+            kernels: vec![
+                KernelBench {
+                    precision_bits: 8,
+                    serial_ns: 1000.0,
+                    packed_ns: 40.0,
+                },
+                KernelBench {
+                    precision_bits: 16,
+                    serial_ns: 4000.0,
+                    packed_ns: 100.0,
+                },
+            ],
+            conv_layer: "conv 32x16x16 k3".into(),
+            conv_serial_seconds: 2.0,
+            conv_packed_seconds: 0.2,
+            kernels_agree: true,
+        };
+        assert!((report.conv_speedup() - 10.0).abs() < 1e-12);
+        assert!((report.kernels[0].speedup() - 25.0).abs() < 1e-12);
+        let json = functional_bench_to_json(&report);
+        assert!(json.contains("\"precision_bits\": 8"));
+        assert!(json.contains("\"speedup\": 25.00"));
+        assert!(json.contains("\"conv_speedup\": 10.0000"));
+        assert!(json.contains("\"kernels_agree\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+        let degenerate = KernelBench {
+            precision_bits: 4,
+            serial_ns: 1.0,
+            packed_ns: 0.0,
+        };
+        assert_eq!(degenerate.speedup(), 1.0);
+        let zero = FunctionalBenchReport {
+            conv_packed_seconds: 0.0,
+            ..report
+        };
+        assert_eq!(zero.conv_speedup(), 1.0);
     }
 
     #[test]

@@ -199,6 +199,57 @@ pub fn bit_of(value: i32, bit: u8) -> u8 {
     ((value as u32) >> bit & 1) as u8
 }
 
+/// Packs bit `bit` of every value's two's-complement encoding into one word:
+/// bit `i` of the result is [`bit_of`]`(values[i], bit)`.
+///
+/// This is the transpose at the heart of the packed SIP datapath: once the
+/// operands are laid out as one word per bit plane, a SIP's 16-input AND +
+/// adder tree becomes a single `AND` + `count_ones()`.
+///
+/// # Panics
+///
+/// Panics if `values.len() > 64` (a plane word holds at most 64 lanes).
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::fixed::bit_plane;
+/// assert_eq!(bit_plane(&[1, 0, 3, 2], 0), 0b0101);
+/// assert_eq!(bit_plane(&[1, 0, 3, 2], 1), 0b1100);
+/// ```
+pub fn bit_plane(values: &[i32], bit: u8) -> u64 {
+    assert!(values.len() <= 64, "a bit plane holds at most 64 lanes");
+    let mut plane = 0u64;
+    for (lane, &v) in values.iter().enumerate() {
+        plane |= u64::from(bit_of(v, bit)) << lane;
+    }
+    plane
+}
+
+/// Packs the signs of the values into one word: bit `i` is set iff
+/// `values[i] < 0`. Together with the bit planes this is all the packed
+/// datapath needs to apply two's-complement MSB negation and to detect
+/// required precisions word-wise.
+///
+/// # Panics
+///
+/// Panics if `values.len() > 64`.
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::fixed::sign_plane;
+/// assert_eq!(sign_plane(&[3, -1, 0, -7]), 0b1010);
+/// ```
+pub fn sign_plane(values: &[i32]) -> u64 {
+    assert!(values.len() <= 64, "a bit plane holds at most 64 lanes");
+    let mut plane = 0u64;
+    for (lane, &v) in values.iter().enumerate() {
+        plane |= u64::from(v < 0) << lane;
+    }
+    plane
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +347,34 @@ mod tests {
         assert_eq!(bit_of(v, 2), 0);
         assert_eq!(bit_of(v, 3), 1);
         assert_eq!(bit_of(-1, 15), 1);
+    }
+
+    #[test]
+    fn bit_plane_transposes_lane_bits() {
+        let values = [5, -1, 0, 2];
+        for bit in 0..16u8 {
+            let plane = bit_plane(&values, bit);
+            for (lane, &v) in values.iter().enumerate() {
+                assert_eq!(
+                    (plane >> lane & 1) as u8,
+                    bit_of(v, bit),
+                    "lane {lane} bit {bit}"
+                );
+            }
+        }
+        assert_eq!(bit_plane(&[], 3), 0);
+    }
+
+    #[test]
+    fn sign_plane_marks_negative_lanes() {
+        assert_eq!(sign_plane(&[1, -2, -3, 0, i32::MIN]), 0b10110);
+        assert_eq!(sign_plane(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn bit_plane_rejects_too_many_lanes() {
+        bit_plane(&[0; 65], 0);
     }
 }
 

@@ -9,15 +9,37 @@
 //! both the computed outputs and the cycles spent, with optional dynamic
 //! per-group activation precision detection.
 //!
+//! The inner products are evaluated by a selectable [`SipKernel`]: the packed
+//! AND+popcount datapath of [`crate::loom::packed`] by default, or the
+//! didactic one-bit-at-a-time loop of [`crate::loom::sip`]. Both are
+//! bit-identical; window patches and weight chunks are transposed into
+//! [`BitplaneBlock`]s once per tile and reused across every filter either way.
+//!
 //! Outputs are checked against the golden model from `loom-model`; cycles are
 //! checked against the analytic schedules.
 
 use crate::config::LoomGeometry;
+use crate::loom::packed::{packed_inner_product, BitplaneBlock, MagnitudeOr};
 use crate::loom::sip::serial_inner_product;
-use loom_model::fixed::{required_precision, Precision};
-use loom_model::im2col::window_patch;
+use loom_model::fixed::Precision;
+use loom_model::im2col::{window_patch, WindowPatch};
 use loom_model::layer::{ConvSpec, FcSpec};
 use loom_model::tensor::{Tensor3, Tensor4};
+
+/// Which software implementation of the SIP kernel the engine evaluates inner
+/// products with. Both are bit-exact; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SipKernel {
+    /// One bit × one lane at a time, exactly as
+    /// [`serial_inner_product`] walks Figure 3 — didactic and cycle-faithful,
+    /// but orders of magnitude slower.
+    BitSerial,
+    /// Word-wide AND + popcount over packed bit planes
+    /// ([`packed_inner_product`]) — bit-identical to the serial kernel by
+    /// construction, and the default.
+    #[default]
+    Packed,
+}
 
 /// Result of running a layer through the functional engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,21 +60,32 @@ pub struct FunctionalLoom {
     geometry: LoomGeometry,
     /// Whether per-group activation precisions are detected at runtime.
     pub dynamic_precision: bool,
+    /// Which SIP kernel evaluates the inner products.
+    pub kernel: SipKernel,
 }
 
 impl FunctionalLoom {
-    /// Creates an engine with the given geometry and dynamic precision
-    /// detection enabled (the paper's default).
+    /// Creates an engine with the given geometry, dynamic precision detection
+    /// enabled (the paper's default), and the packed SIP kernel.
     pub fn new(geometry: LoomGeometry) -> Self {
         FunctionalLoom {
             geometry,
             dynamic_precision: true,
+            kernel: SipKernel::default(),
         }
     }
 
     /// Disables runtime precision detection (profile precisions only).
     pub fn without_dynamic_precision(mut self) -> Self {
         self.dynamic_precision = false;
+        self
+    }
+
+    /// Selects the SIP kernel (the legacy bit-serial loop or the packed
+    /// AND+popcount datapath). Results are identical either way; the
+    /// functional benchmark and CI use this to cross-check the two.
+    pub fn with_kernel(mut self, kernel: SipKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -70,7 +103,10 @@ impl FunctionalLoom {
     ///
     /// # Panics
     ///
-    /// Panics if the tensors do not match the spec.
+    /// Panics if the tensors do not match the spec, or if the geometry's
+    /// `sip_lanes` exceeds [`crate::loom::packed::MAX_LANES`] (the packed
+    /// datapath holds a SIP's lanes in one plane word; the real design uses
+    /// 16).
     pub fn run_conv(
         &self,
         spec: &ConvSpec,
@@ -105,41 +141,85 @@ impl FunctionalLoom {
         let mut cycles = 0u64;
         let mut reduced_groups = 0u64;
 
+        let packed_kernel = self.kernel == SipKernel::Packed;
+        // The precision detector reads packed activation planes even on the
+        // bit-serial kernel, so both kernels detect identically.
+        let packed_detection = self.dynamic_precision && spec.groups == 1;
+
+        // Transpose every filter's weight chunks into bit planes once for the
+        // whole layer; the blocks are reused across every window group. (The
+        // filter slice and each per-group patch both have `wpf` values, so the
+        // chunk grid tiles them identically.) The bit-serial kernel reads the
+        // raw slices instead and skips the transpose.
+        let packed_filters: Vec<Vec<BitplaneBlock>> = if packed_kernel {
+            (0..spec.filters)
+                .map(|k| {
+                    let filter = weights.filter(k);
+                    (0..chunks)
+                        .map(|chunk| {
+                            let base = chunk * lanes;
+                            let count = lanes.min(wpf - base);
+                            BitplaneBlock::pack(&filter[base..base + count])
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         // Window groups along the columns, filter groups along the rows.
         for window_base in (0..windows).step_by(cols) {
             let window_count = cols.min(windows - window_base);
-            // Pre-extract the patches of this window group once.
-            let patches: Vec<Vec<i32>> = (0..window_count)
+            // Extract each window's patch once per (window, filter group) —
+            // every filter of a group reads the same channel slice, so the
+            // extraction must not sit in the filter loop.
+            let patches: Vec<Vec<WindowPatch>> = (0..window_count)
                 .map(|i| {
                     let w = window_base + i;
-                    (w / out_w, w % out_w)
+                    let (oy, ox) = (w / out_w, w % out_w);
+                    (0..spec.groups)
+                        .map(|g| window_patch(spec, input, oy, ox, g * group_in, group_in))
+                        .collect()
                 })
-                .map(|(oy, ox)| window_patch(spec, input, oy, ox, 0, spec.in_channels))
                 .collect();
 
             for chunk in 0..chunks {
                 let lane_base = chunk * lanes;
                 let lane_count = lanes.min(wpf - lane_base);
+                // Transpose this chunk of every (window, group) patch once;
+                // the blocks are reused by every filter of the group and by
+                // the precision detector below. Skipped when neither needs
+                // them (bit-serial kernel with detection off or grouped).
+                let packed_acts: Vec<Vec<BitplaneBlock>> = if packed_kernel || packed_detection {
+                    patches
+                        .iter()
+                        .map(|per_group| {
+                            per_group
+                                .iter()
+                                .map(|patch| {
+                                    BitplaneBlock::pack(&patch[lane_base..lane_base + lane_count])
+                                })
+                                .collect()
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+
                 // Dynamic precision: detect over all activations this group of
-                // SIP columns consumes concurrently (up to cols × 16 values).
-                // Runtime detection inspects exactly the activation bits this
-                // block will consume. Grouped convolutions interleave channel
-                // ranges per filter group, so detection is skipped for them
-                // (a conservative simplification; AlexNet's grouped layers
-                // still benefit from their static profile precisions).
-                let effective_pa = if self.dynamic_precision && spec.groups == 1 {
-                    let mut group_values = Vec::with_capacity(window_count * lane_count);
-                    for patch in &patches {
-                        group_values.extend_from_slice(
-                            &patch[lane_base.min(patch.len())
-                                ..(lane_base + lane_count).min(patch.len())],
-                        );
+                // SIP columns consumes concurrently (up to cols × 16 values),
+                // as an OR fold over the already-packed planes. Grouped
+                // convolutions interleave channel ranges per filter group, so
+                // detection is skipped for them (a conservative
+                // simplification; AlexNet's grouped layers still benefit from
+                // their static profile precisions).
+                let effective_pa = if packed_detection {
+                    let mut fold = MagnitudeOr::new();
+                    for per_group in &packed_acts {
+                        fold.absorb(&per_group[0]);
                     }
-                    let detected = if activations_signed {
-                        required_precision(&group_values).min(pa)
-                    } else {
-                        loom_model::fixed::required_unsigned_precision(&group_values).min(pa)
-                    };
+                    let detected = fold.detected_precision(activations_signed).min(pa);
                     if detected < pa {
                         reduced_groups += 1;
                     }
@@ -158,39 +238,27 @@ impl FunctionalLoom {
                 // Compute the partial products this block contributes.
                 for k in 0..spec.filters {
                     let group = k / group_out;
-                    let c_base = group * group_in;
-                    let filter = weights.filter(k);
-                    // The chunk indexes into the filter's CHW-flattened weights;
-                    // grouped convolutions address their own channel slice.
-                    let f_base = lane_base;
-                    if f_base >= filter.len() {
-                        continue;
-                    }
-                    let f_count = lane_count.min(filter.len() - f_base);
-                    for (col, patch_full) in patches.iter().enumerate() {
+                    for col in 0..window_count {
                         let window = window_base + col;
-                        // For grouped convolutions re-extract the per-group patch.
-                        let patch_storage;
-                        let patch: &[i32] = if spec.groups == 1 {
-                            patch_full
-                        } else {
-                            let (oy, ox) = (window / out_w, window % out_w);
-                            patch_storage = window_patch(spec, input, oy, ox, c_base, group_in);
-                            &patch_storage
+                        let dot = match self.kernel {
+                            SipKernel::Packed => packed_inner_product(
+                                &packed_filters[k][chunk],
+                                &packed_acts[col][group],
+                                pw,
+                                effective_pa,
+                                true,
+                                activations_signed,
+                            ),
+                            SipKernel::BitSerial => serial_inner_product(
+                                &weights.filter(k)[lane_base..lane_base + lane_count],
+                                &patches[col][group][lane_base..lane_base + lane_count],
+                                pw,
+                                effective_pa,
+                                true,
+                                activations_signed,
+                            ),
                         };
-                        if f_base >= patch.len() {
-                            continue;
-                        }
-                        let a_slice = &patch[f_base..(f_base + f_count).min(patch.len())];
-                        let w_slice = &filter[f_base..f_base + a_slice.len()];
-                        outputs[k * windows + window] += serial_inner_product(
-                            w_slice,
-                            a_slice,
-                            pw,
-                            effective_pa,
-                            true,
-                            activations_signed,
-                        );
+                        outputs[k * windows + window] += dot;
                     }
                 }
             }
@@ -210,7 +278,8 @@ impl FunctionalLoom {
     ///
     /// # Panics
     ///
-    /// Panics if the slices do not match the spec.
+    /// Panics if the slices do not match the spec, or if the geometry's
+    /// `sip_lanes` exceeds [`crate::loom::packed::MAX_LANES`].
     pub fn run_fc(
         &self,
         spec: &FcSpec,
@@ -241,20 +310,45 @@ impl FunctionalLoom {
         let chunks_per_slice = chunks.div_ceil(slices);
         let output_groups = (spec.out_features * slices).div_ceil(concurrent) as u64;
 
+        // Transpose the input activation chunks once; every output row's inner
+        // product reuses the same packed planes. The bit-serial kernel reads
+        // the raw slices instead.
+        let packed_input: Vec<BitplaneBlock> = if self.kernel == SipKernel::Packed {
+            (0..chunks)
+                .map(|chunk| {
+                    let base = chunk * lanes;
+                    let count = lanes.min(spec.in_features - base);
+                    BitplaneBlock::pack(&input[base..base + count])
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut outputs = vec![0i64; spec.out_features];
         for (k, out) in outputs.iter_mut().enumerate() {
             let row = &weights[k * spec.in_features..(k + 1) * spec.in_features];
             for chunk in 0..chunks {
                 let base = chunk * lanes;
                 let count = lanes.min(spec.in_features - base);
-                *out += serial_inner_product(
-                    &row[base..base + count],
-                    &input[base..base + count],
-                    pw,
-                    Precision::FULL,
-                    true,
-                    true,
-                );
+                *out += match self.kernel {
+                    SipKernel::Packed => packed_inner_product(
+                        &BitplaneBlock::pack(&row[base..base + count]),
+                        &packed_input[chunk],
+                        pw,
+                        Precision::FULL,
+                        true,
+                        true,
+                    ),
+                    SipKernel::BitSerial => serial_inner_product(
+                        &row[base..base + count],
+                        &input[base..base + count],
+                        pw,
+                        Precision::FULL,
+                        true,
+                        true,
+                    ),
+                };
             }
         }
 

@@ -1,10 +1,15 @@
-//! The Loom bit-serial engine: functional SIP model, functional layer engine,
-//! and the analytic schedules for convolutional and fully-connected layers.
+//! The Loom bit-serial engine: functional SIP model, the packed
+//! bitplane/popcount datapath, functional layer engine, and the analytic
+//! schedules for convolutional and fully-connected layers.
 
 pub mod functional;
+pub mod packed;
 pub mod schedule;
 pub mod sip;
 
-pub use functional::{FunctionalLoom, FunctionalRun};
+pub use functional::{FunctionalLoom, FunctionalRun, SipKernel};
+pub use packed::{
+    packed_inner_product, packed_inner_product_slices, BitplaneBlock, MagnitudeOr, MAX_LANES,
+};
 pub use schedule::{conv_schedule, fc_schedule, ScheduleResult};
 pub use sip::{reference_inner_product, serial_inner_product, Sip};

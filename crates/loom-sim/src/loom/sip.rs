@@ -81,10 +81,16 @@ pub fn reference_inner_product(weights: &[i32], activations: &[i32]) -> i64 {
 /// and the Section 2 walkthrough example). One instance corresponds to one SIP
 /// in the grid; its lane count is configurable (16 in the real design, 2 in the
 /// paper's illustrative example).
+///
+/// The weight registers are held as a packed plane word (one bit per lane), so
+/// every cycle is a single `AND` + `count_ones()` — the same kernel as
+/// [`crate::loom::packed::packed_inner_product`]. The bit-slice API
+/// ([`load_weight_bits`](Self::load_weight_bits) / [`cycle`](Self::cycle))
+/// remains for didactic callers and simply packs on the way in.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sip {
     lanes: usize,
-    weight_regs: Vec<u8>,
+    weight_plane: u64,
     acc1: i64,
     or_register: i64,
     cycles: u64,
@@ -92,10 +98,19 @@ pub struct Sip {
 
 impl Sip {
     /// Creates a SIP with the given number of weight registers / lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` exceeds [`crate::loom::packed::MAX_LANES`].
     pub fn new(lanes: usize) -> Self {
+        assert!(
+            lanes <= crate::loom::packed::MAX_LANES,
+            "a SIP holds at most {} lanes",
+            crate::loom::packed::MAX_LANES
+        );
         Sip {
             lanes,
-            weight_regs: vec![0; lanes],
+            weight_plane: 0,
             acc1: 0,
             or_register: 0,
             cycles: 0,
@@ -112,6 +127,10 @@ impl Sip {
         self.cycles
     }
 
+    fn lane_mask(&self) -> u64 {
+        crate::loom::packed::lane_mask(self.lanes)
+    }
+
     /// Loads one bit of each weight into the weight registers.
     ///
     /// # Panics
@@ -119,7 +138,27 @@ impl Sip {
     /// Panics if `bits.len() != lanes`.
     pub fn load_weight_bits(&mut self, bits: &[u8]) {
         assert_eq!(bits.len(), self.lanes, "one weight bit per lane");
-        self.weight_regs.copy_from_slice(bits);
+        let mut plane = 0u64;
+        for (lane, &bit) in bits.iter().enumerate() {
+            plane |= u64::from(bit & 1) << lane;
+        }
+        self.weight_plane = plane;
+    }
+
+    /// Loads an already-packed weight bit plane (bit `i` = lane `i`) into the
+    /// weight registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` has bits set beyond the SIP's lanes.
+    pub fn load_weight_plane(&mut self, plane: u64) {
+        assert_eq!(
+            plane & !self.lane_mask(),
+            0,
+            "weight plane has bits beyond the {} lanes",
+            self.lanes
+        );
+        self.weight_plane = plane;
     }
 
     /// Executes one cycle: multiplies the incoming activation bits (at
@@ -136,10 +175,27 @@ impl Sip {
             self.lanes,
             "one activation bit per lane"
         );
-        let mut partial = 0i64;
-        for (a, w) in activation_bits.iter().zip(self.weight_regs.iter()) {
-            partial += i64::from(a & w);
+        let mut plane = 0u64;
+        for (lane, &bit) in activation_bits.iter().enumerate() {
+            plane |= u64::from(bit & 1) << lane;
         }
+        self.cycle_packed(plane, act_bit, negate);
+    }
+
+    /// Executes one cycle on an already-packed activation bit plane: the
+    /// 16-input AND + adder tree collapses to `(plane & WRs).count_ones()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` has bits set beyond the SIP's lanes.
+    pub fn cycle_packed(&mut self, plane: u64, act_bit: u8, negate: bool) {
+        assert_eq!(
+            plane & !self.lane_mask(),
+            0,
+            "activation plane has bits beyond the {} lanes",
+            self.lanes
+        );
+        let mut partial = i64::from((plane & self.weight_plane).count_ones());
         if negate {
             partial = -partial;
         }
@@ -302,5 +358,44 @@ mod tests {
     fn wrong_lane_count_panics() {
         let mut sip = Sip::new(4);
         sip.load_weight_bits(&[1, 0]);
+    }
+
+    #[test]
+    fn packed_cycle_path_matches_bit_slice_path() {
+        use crate::loom::packed::BitplaneBlock;
+        let weights = vec![-5, 3, 7, -2, 11, -13];
+        let activations = vec![4, 1, -3, 6, -7, 2];
+        let pw = required_precision(&weights);
+        let pa = required_precision(&activations);
+        let w_block = BitplaneBlock::pack(&weights);
+        let a_block = BitplaneBlock::pack(&activations);
+
+        let mut slice_sip = Sip::new(weights.len());
+        let mut plane_sip = Sip::new(weights.len());
+        for wb in 0..pw.bits() {
+            let bits: Vec<u8> = weights.iter().map(|&w| bit_of(w, wb)).collect();
+            slice_sip.load_weight_bits(&bits);
+            plane_sip.load_weight_plane(w_block.plane(wb));
+            for ab in 0..pa.bits() {
+                let a_bits: Vec<u8> = activations.iter().map(|&a| bit_of(a, ab)).collect();
+                let negate = ab == pa.bits() - 1;
+                slice_sip.cycle(&a_bits, ab, negate);
+                plane_sip.cycle_packed(a_block.plane(ab), ab, negate);
+            }
+            slice_sip.commit_weight_bit(wb, wb == pw.bits() - 1);
+            plane_sip.commit_weight_bit(wb, wb == pw.bits() - 1);
+        }
+        assert_eq!(slice_sip, plane_sip);
+        assert_eq!(
+            plane_sip.output(),
+            reference_inner_product(&weights, &activations)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 4 lanes")]
+    fn out_of_lane_plane_bits_panic() {
+        let mut sip = Sip::new(4);
+        sip.load_weight_plane(0b10000);
     }
 }

@@ -143,6 +143,27 @@ pub fn validate_accelerator_conv(
     report(functional.outputs == reference, functional.cycles, cycles)
 }
 
+/// Cross-checks the two SIP kernels on a convolutional layer: the packed
+/// AND+popcount datapath and the legacy bit-serial loop must produce
+/// *identical* [`crate::loom::FunctionalRun`]s — outputs, cycles, and
+/// dynamically reduced groups. CI's functional benchmark fails the build if
+/// this ever returns `false`.
+pub fn conv_kernels_agree(
+    geometry: LoomGeometry,
+    spec: &ConvSpec,
+    input: &Tensor3,
+    weights: &Tensor4,
+    pa: Precision,
+    pw: Precision,
+) -> bool {
+    use crate::loom::functional::SipKernel;
+    let packed = FunctionalLoom::new(geometry).run_conv(spec, input, weights, pa, pw);
+    let serial = FunctionalLoom::new(geometry)
+        .with_kernel(SipKernel::BitSerial)
+        .run_conv(spec, input, weights, pa, pw);
+    packed == serial
+}
+
 fn report(outputs_match: bool, functional_cycles: u64, analytic_cycles: u64) -> ValidationReport {
     let cycle_error = if analytic_cycles == 0 {
         if functional_cycles == 0 {
@@ -207,6 +228,14 @@ mod tests {
         assert!(r.outputs_match, "{r}");
         // The analytic model adds a one-cycle pipeline fill; otherwise exact.
         assert!(r.agrees_within(0.02), "{r}");
+        assert!(conv_kernels_agree(
+            geometry(),
+            &spec,
+            &input,
+            &weights,
+            pa,
+            pw
+        ));
 
         // The trait-based check must agree with the direct schedule check
         // when the registered backend wraps the same analytic schedule.

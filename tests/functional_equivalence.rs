@@ -8,7 +8,10 @@ use loom_core::loom_model::layer::{ConvSpec, FcSpec};
 use loom_core::loom_model::reference::{conv_forward, fc_forward};
 use loom_core::loom_model::tensor::{Tensor3, Tensor4};
 use loom_core::loom_sim::config::LoomGeometry;
-use loom_core::loom_sim::loom::{reference_inner_product, serial_inner_product, FunctionalLoom};
+use loom_core::loom_sim::loom::{
+    packed_inner_product_slices, reference_inner_product, serial_inner_product, FunctionalLoom,
+    SipKernel,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -38,6 +41,52 @@ proptest! {
             true,
         );
         prop_assert_eq!(serial, reference_inner_product(&weights, &activations));
+    }
+
+    /// The packed AND+popcount datapath is bit-identical to the bit-serial SIP
+    /// model (and both equal the integer reference) across random lane counts
+    /// up to a full 64-lane plane word, every precision combination, and all
+    /// four signedness combinations.
+    #[test]
+    fn packed_equals_serial_equals_reference(
+        pw in 1u8..=16,
+        pa in 1u8..=16,
+        lanes in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng, RngExt};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pw_p = Precision::new(pw).unwrap();
+        let pa_p = Precision::new(pa).unwrap();
+        for weights_signed in [false, true] {
+            for activations_signed in [false, true] {
+                let (wmin, wmax) = if weights_signed {
+                    signed_range(pw_p)
+                } else {
+                    (0, ((1u32 << pw) - 1) as i32)
+                };
+                let (amin, amax) = if activations_signed {
+                    signed_range(pa_p)
+                } else {
+                    (0, ((1u32 << pa) - 1) as i32)
+                };
+                let weights: Vec<i32> = (0..lanes).map(|_| rng.random_range(wmin..=wmax)).collect();
+                let activations: Vec<i32> =
+                    (0..lanes).map(|_| rng.random_range(amin..=amax)).collect();
+                let serial = serial_inner_product(
+                    &weights, &activations, pw_p, pa_p, weights_signed, activations_signed,
+                );
+                let packed = packed_inner_product_slices(
+                    &weights, &activations, pw_p, pa_p, weights_signed, activations_signed,
+                );
+                prop_assert!(
+                    packed == serial,
+                    "packed {} != serial {} (ws={} as={} pw={} pa={})",
+                    packed, serial, weights_signed, activations_signed, pw, pa
+                );
+                prop_assert_eq!(serial, reference_inner_product(&weights, &activations));
+            }
+        }
     }
 
     /// Bit-interleaved packing round-trips exactly at the precision detected
@@ -129,6 +178,195 @@ fn functional_conv_matches_reference_across_shapes() {
             };
             let run = engine.run_conv(&spec, &input, &weights, pa, pw);
             assert_eq!(run.outputs, reference, "shape {spec:?} dynamic={dynamic}");
+            // Both kernels must produce the whole FunctionalRun identically
+            // (outputs, cycles, and dynamically reduced groups).
+            let serial_run = engine
+                .with_kernel(SipKernel::BitSerial)
+                .run_conv(&spec, &input, &weights, pa, pw);
+            assert_eq!(run, serial_run, "shape {spec:?} dynamic={dynamic}");
         }
     }
+}
+
+/// Regression pin for the allocation-free dynamic precision detection: the
+/// OR-fold over packed magnitude planes must report exactly the per-chunk
+/// reduced-group count (and therefore cycles) that the original
+/// materialise-a-`Vec`-then-`required_precision` implementation reported.
+/// The expected counts are recomputed here with that original algorithm.
+#[test]
+fn dynamic_precision_fold_matches_group_values_algorithm() {
+    use loom_core::loom_model::fixed::required_unsigned_precision;
+    use loom_core::loom_model::im2col::window_patch;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    let spec = ConvSpec::simple(4, 10, 10, 6, 3);
+    let geometry = LoomGeometry {
+        filter_rows: 8,
+        window_columns: 4,
+        sip_lanes: 4,
+        act_bits_per_cycle: 1,
+    };
+    let pa = Precision::new(9).unwrap();
+    let pw = Precision::new(6).unwrap();
+    let mut rng = StdRng::seed_from_u64(4242);
+    // Mostly-small values with occasional spikes, so many chunks detect a
+    // reduced precision but not all of them.
+    let input = Tensor3::from_vec(
+        spec.input_shape(),
+        (0..spec.input_shape().len())
+            .map(|_| {
+                if rng.random_range(0u32..8) == 0 {
+                    rng.random_range(0i32..=255)
+                } else {
+                    rng.random_range(0i32..=15)
+                }
+            })
+            .collect(),
+    )
+    .unwrap();
+    let weights = Tensor4::from_vec(
+        spec.weight_shape(),
+        (0..spec.weight_shape().len())
+            .map(|_| rng.random_range(-32i32..=31))
+            .collect(),
+    )
+    .unwrap();
+
+    // The original per-chunk group_values algorithm, reproduced verbatim.
+    let cols = geometry.window_columns;
+    let lanes = geometry.sip_lanes;
+    let windows = spec.windows();
+    let out_w = spec.out_width();
+    let wpf = spec.weights_per_filter();
+    let chunks = wpf.div_ceil(lanes);
+    let mut expected_reduced = 0u64;
+    for window_base in (0..windows).step_by(cols) {
+        let window_count = cols.min(windows - window_base);
+        let patches: Vec<Vec<i32>> = (0..window_count)
+            .map(|i| {
+                let w = window_base + i;
+                window_patch(&spec, &input, w / out_w, w % out_w, 0, spec.in_channels)
+            })
+            .collect();
+        for chunk in 0..chunks {
+            let lane_base = chunk * lanes;
+            let lane_count = lanes.min(wpf - lane_base);
+            let mut group_values = Vec::with_capacity(window_count * lane_count);
+            for patch in &patches {
+                group_values.extend_from_slice(&patch[lane_base..lane_base + lane_count]);
+            }
+            if required_unsigned_precision(&group_values).min(pa) < pa {
+                expected_reduced += 1;
+            }
+        }
+    }
+    assert!(expected_reduced > 0, "test data must exercise reduction");
+
+    let run = FunctionalLoom::new(geometry).run_conv(&spec, &input, &weights, pa, pw);
+    assert_eq!(run.reduced_groups, expected_reduced);
+    assert_eq!(run.outputs, conv_forward(&spec, &input, &weights));
+    // And the bit-serial kernel sees the identical detection (same cycles).
+    let serial_run = FunctionalLoom::new(geometry)
+        .with_kernel(SipKernel::BitSerial)
+        .run_conv(&spec, &input, &weights, pa, pw);
+    assert_eq!(run, serial_run);
+}
+
+/// Full-network equivalence: every compute layer of a small CNN (conv → pool →
+/// conv → fc), fed the golden model's own traced activations, must come out of
+/// the functional Loom engine bit-exact against the golden accumulators. This
+/// end-to-end check was too slow to afford on the bit-serial kernel.
+#[test]
+fn functional_engine_matches_golden_model_over_a_whole_network() {
+    use loom_core::loom_model::inference::{run_chain, InferenceOptions, NetworkParams};
+    use loom_core::loom_model::layer::{Layer, PoolSpec};
+    use loom_core::loom_model::network::Network;
+    use loom_core::loom_model::synthetic::{synthetic_activations, ValueDistribution};
+    use loom_core::loom_model::tensor::Shape3;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let padded = |in_channels, hw, filters| ConvSpec {
+        in_channels,
+        in_height: hw,
+        in_width: hw,
+        filters,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+    };
+    let network = Network::new(
+        "mini-cnn",
+        vec![
+            Layer::conv("conv1", padded(3, 12, 8)),
+            Layer::max_pool("pool1", PoolSpec::new(8, 12, 12, 2, 2)),
+            Layer::conv("conv2", padded(8, 6, 12)),
+            Layer::fully_connected("fc", FcSpec::new(12 * 6 * 6, 10)),
+        ],
+    )
+    .unwrap();
+    let pw = Precision::new(7).unwrap();
+    let params = NetworkParams::synthetic(&network, &[pw], 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let input = Tensor3::from_vec(
+        Shape3::new(3, 12, 12),
+        synthetic_activations(
+            &mut rng,
+            3 * 12 * 12,
+            Precision::new(8).unwrap(),
+            ValueDistribution::activations(),
+        ),
+    )
+    .unwrap();
+    let options = InferenceOptions {
+        activation_precision: Precision::new(8).unwrap(),
+        relu: true,
+    };
+    let trace = run_chain(&network, &params, &input, options).unwrap();
+
+    let geometry = LoomGeometry {
+        filter_rows: 8,
+        window_columns: 4,
+        sip_lanes: 8,
+        act_bits_per_cycle: 1,
+    };
+    let engine = FunctionalLoom::new(geometry);
+    let mut checked = 0usize;
+    for layer in network.layers() {
+        let layer_trace = trace.for_layer(&layer.name).unwrap();
+        match &layer.kind {
+            loom_core::loom_model::layer::LayerKind::Conv(spec) => {
+                let layer_input =
+                    Tensor3::from_vec(spec.input_shape(), layer_trace.inputs.clone()).unwrap();
+                let layer_weights = Tensor4::from_vec(
+                    spec.weight_shape(),
+                    params.for_layer(&layer.name).unwrap().values.clone(),
+                )
+                .unwrap();
+                let run = engine.run_conv(
+                    spec,
+                    &layer_input,
+                    &layer_weights,
+                    required_precision(&layer_trace.inputs),
+                    pw,
+                );
+                assert_eq!(run.outputs, layer_trace.accumulators, "{}", layer.name);
+                assert!(run.cycles > 0, "{}", layer.name);
+                checked += 1;
+            }
+            loom_core::loom_model::layer::LayerKind::FullyConnected(spec) => {
+                let run = engine.run_fc(
+                    spec,
+                    &layer_trace.inputs,
+                    &params.for_layer(&layer.name).unwrap().values,
+                    pw,
+                );
+                assert_eq!(run.outputs, layer_trace.accumulators, "{}", layer.name);
+                checked += 1;
+            }
+            loom_core::loom_model::layer::LayerKind::MaxPool(_) => {}
+        }
+    }
+    assert_eq!(checked, 3, "all compute layers must be validated");
 }
