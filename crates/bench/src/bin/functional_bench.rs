@@ -1,21 +1,40 @@
-//! Functional-engine benchmark: times the SIP kernels (legacy bit-serial vs
-//! packed AND+popcount) on 16-lane inner products at several precisions, then
-//! runs a mid-size convolutional layer through the functional Loom engine on
-//! both kernel paths, verifies the runs are bit-identical, and emits a
-//! machine-readable `BENCH_functional.json` with the wall-clocks and
-//! speedups. CI runs this as a smoke step and fails if the kernels ever
-//! disagree.
+//! Functional-engine benchmark and bit-exactness gate.
+//!
+//! Three sections, all emitted into `BENCH_functional.json`:
+//!
+//! 1. **Kernels** — times the SIP kernels (legacy bit-serial vs packed
+//!    AND+popcount) on 16-lane inner products at several precisions, then a
+//!    mid-size convolutional layer through the functional engine on both
+//!    kernel paths, verifying the runs are bit-identical.
+//! 2. **Zoo** — runs whole networks (`loom_model::zoo::graphs`, including
+//!    branching GoogLeNet) through the batched functional engine and compares
+//!    every trace bit-for-bit against the golden graph executor.
+//! 3. **Batch** — runs one network as a batch of 4 on one worker thread and
+//!    again on the full thread budget, verifying bit-identical results and
+//!    recording the throughput ratio.
+//!
+//! CI runs this as a smoke step and fails if any bit-exactness check fails.
+//! `--threads N` / `LOOM_THREADS` size the worker pool, `--filter <network>`
+//! restricts the zoo section, and `--reduced` swaps in the topology-preserving
+//! `Mini*` networks for a quick run.
 
-use loom_core::export::{functional_bench_to_json, FunctionalBenchReport, KernelBench};
+use loom_core::export::{
+    functional_bench_to_json, BatchBench, FunctionalBenchReport, KernelBench, ZooFunctionalRow,
+};
+use loom_core::loom_model::graph::LayerGraph;
+use loom_core::loom_model::inference::{InferenceOptions, NetworkParams};
 use loom_core::loom_model::synthetic::{
     synthetic_activations, synthetic_weights, ValueDistribution,
 };
 use loom_core::loom_model::tensor::{Tensor3, Tensor4};
+use loom_core::loom_model::zoo::graphs;
 use loom_core::loom_model::{layer::ConvSpec, Precision};
 use loom_core::loom_sim::config::LoomGeometry;
 use loom_core::loom_sim::loom::{
-    packed_inner_product, serial_inner_product, BitplaneBlock, FunctionalLoom, SipKernel,
+    packed_inner_product, serial_inner_product, BitplaneBlock, FunctionalLoom, NetworkEngine,
+    SipKernel,
 };
+use loom_core::sweep::SweepOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -77,8 +96,65 @@ fn bench_kernel(rng: &mut StdRng, bits: u8) -> KernelBench {
     }
 }
 
+/// Synthesizes an 8-bit input image for a zoo graph.
+fn zoo_input(graph: &LayerGraph, seed: u64) -> Tensor3 {
+    let shape = graph
+        .input_shape()
+        .expect("every zoo graph starts with a convolution");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor3::from_vec(
+        shape,
+        synthetic_activations(
+            &mut rng,
+            shape.len(),
+            Precision::new(8).unwrap(),
+            ValueDistribution::activations(),
+        ),
+    )
+    .expect("shape and length agree by construction")
+}
+
+/// Runs one zoo network through both paths and compares the traces.
+fn bench_zoo_network(
+    graph: &LayerGraph,
+    geometry: LoomGeometry,
+    threads: usize,
+) -> ZooFunctionalRow {
+    let pw = Precision::new(8).unwrap();
+    let params = NetworkParams::synthetic_for_graph(graph, &[pw], 2018);
+    let input = zoo_input(graph, 4242);
+    let options = InferenceOptions::default();
+
+    let started = Instant::now();
+    let golden = graph
+        .run(&params, &input, options)
+        .expect("zoo graphs chain by construction");
+    let golden_seconds = started.elapsed().as_secs_f64();
+
+    let engine = NetworkEngine::new(geometry).with_threads(threads);
+    let started = Instant::now();
+    let run = engine
+        .run(graph, &params, &input, options)
+        .expect("zoo graphs chain by construction");
+    let functional_seconds = started.elapsed().as_secs_f64();
+
+    ZooFunctionalRow {
+        network: graph.name().to_string(),
+        nodes: graph.nodes().len(),
+        macs: graph.total_macs(),
+        golden_seconds,
+        functional_seconds,
+        cycles: run.cycles,
+        reduced_groups: run.reduced_groups,
+        matches_reference: run.trace == golden,
+    }
+}
+
 fn main() {
+    let mut options = SweepOptions::from_env();
+    let reduced = std::env::args().any(|a| a == "--reduced");
     let mut rng = StdRng::seed_from_u64(2018);
+
     println!("SIP kernel: 16-lane inner product, bit-serial vs packed");
     let kernels: Vec<KernelBench> = [4u8, 8, 16]
         .iter()
@@ -147,19 +223,126 @@ fn main() {
     let conv_packed_seconds = started.elapsed().as_secs_f64();
 
     let kernels_agree = serial_run == packed_run;
+    println!(
+        "  serial engine : {conv_serial_seconds:.3}s\n  packed engine : {conv_packed_seconds:.3}s\n  identical     : {kernels_agree}"
+    );
+
+    // Whole networks: golden graph executor vs the batched functional engine,
+    // bit-exact trace comparison per network.
+    let zoo_names: &[&str] = if reduced {
+        &graphs::REDUCED_NAMES
+    } else {
+        &["NiN", "AlexNet", "GoogLeNet", "VGGS"]
+    };
+    let resolve = |name: &str| {
+        if reduced {
+            graphs::reduced_by_name(name)
+        } else {
+            graphs::by_name(name)
+        }
+        .expect("zoo suite names always resolve")
+    };
+    // A typo'd --filter must not silently skip the bit-exactness gate: warn
+    // and run the full suite instead, like the sweep binaries do.
+    if options.matches_nothing_in(zoo_names.iter().copied()) {
+        eprintln!(
+            "warning: --filter {:?} matches no zoo network; running the full suite",
+            options.filter.as_deref().unwrap_or("")
+        );
+        options.filter = None;
+    }
+    println!(
+        "Zoo functional suite ({} scale, {} threads):",
+        if reduced { "reduced" } else { "full" },
+        options.threads
+    );
+    let zoo: Vec<ZooFunctionalRow> = zoo_names
+        .iter()
+        .filter(|n| options.matches(n))
+        .map(|name| {
+            let graph = resolve(name);
+            let row = bench_zoo_network(&graph, geometry, options.threads);
+            println!(
+                "  {:<14} {:>3} nodes {:>6.1} MMACs  golden {:>7.2}s  functional {:>7.2}s  {}",
+                row.network,
+                row.nodes,
+                row.macs as f64 / 1e6,
+                row.golden_seconds,
+                row.functional_seconds,
+                if row.matches_reference {
+                    "bit-exact"
+                } else {
+                    "MISMATCH"
+                }
+            );
+            row
+        })
+        .collect();
+
+    // Batched throughput: one network, batch of 4, one worker vs the full
+    // budget. Bit-identical results are required; the speedup tracks how many
+    // cores the machine actually has (`available_parallelism` is recorded so
+    // a single-core runner's ~1x is interpretable).
+    let batch = if options.filter.is_none() {
+        let name = if reduced { "MiniAlexNet" } else { "AlexNet" };
+        let graph = resolve(name);
+        let params =
+            NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 2018);
+        let inputs: Vec<Tensor3> = (0..4).map(|i| zoo_input(&graph, 9000 + i)).collect();
+        let run_options = InferenceOptions::default();
+        let threads = options.threads.max(2);
+
+        let started = Instant::now();
+        let serial = NetworkEngine::new(geometry)
+            .run_batch(&graph, &params, &inputs, run_options)
+            .expect("zoo graphs chain by construction");
+        let serial_seconds = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let parallel = NetworkEngine::new(geometry)
+            .with_threads(threads)
+            .run_batch(&graph, &params, &inputs, run_options)
+            .expect("zoo graphs chain by construction");
+        let parallel_seconds = started.elapsed().as_secs_f64();
+
+        let bench = BatchBench {
+            network: graph.name().to_string(),
+            batch: inputs.len(),
+            threads,
+            serial_seconds,
+            parallel_seconds,
+            identical: serial == parallel,
+        };
+        println!(
+            "Batched engine: {} x{} on {} threads: 1-thread {:.2}s, parallel {:.2}s -> {:.2}x, identical: {}",
+            bench.network,
+            bench.batch,
+            bench.threads,
+            bench.serial_seconds,
+            bench.parallel_seconds,
+            bench.speedup(),
+            bench.identical
+        );
+        Some(bench)
+    } else {
+        None
+    };
+
     let report = FunctionalBenchReport {
         kernels,
         conv_layer,
         conv_serial_seconds,
         conv_packed_seconds,
         kernels_agree,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        zoo,
+        batch,
     };
     println!(
-        "  serial engine : {:.3}s\n  packed engine : {:.3}s -> {:.1}x\n  identical     : {}",
-        report.conv_serial_seconds,
-        report.conv_packed_seconds,
-        report.conv_speedup(),
-        report.kernels_agree
+        "Conv layer, packed vs bit-serial engine: {:.1}x",
+        report.conv_speedup()
     );
 
     let json = functional_bench_to_json(&report);
@@ -173,8 +356,11 @@ fn main() {
         }
     }
 
-    if !kernels_agree {
-        eprintln!("ERROR: packed SIP kernel diverged from the legacy bit-serial kernel");
+    if !report.all_agree() {
+        eprintln!(
+            "ERROR: a bit-exactness check failed (SIP kernels, a zoo network \
+             vs the golden model, or the parallel batch vs the serial one)"
+        );
         std::process::exit(1);
     }
 }

@@ -222,10 +222,64 @@ impl KernelBench {
     }
 }
 
-/// One functional-benchmark measurement: the SIP kernel micro-benchmarks plus
-/// a mid-size convolutional layer run end to end through the functional engine
-/// on both kernels. Rendered as machine-readable JSON by
-/// [`functional_bench_to_json`] (consumed by CI as `BENCH_functional.json`).
+/// One zoo network run end to end through both the golden graph executor and
+/// the batched functional engine, with bit-exact trace comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooFunctionalRow {
+    /// Network name (a `loom_model::zoo::graphs` graph).
+    pub network: String,
+    /// Layer-graph nodes the trace covers.
+    pub nodes: usize,
+    /// Total MACs of the graph.
+    pub macs: u64,
+    /// Wall-clock seconds of the golden (reference-kernel) forward pass.
+    pub golden_seconds: f64,
+    /// Wall-clock seconds of the functional (bit-serial datapath) pass.
+    pub functional_seconds: f64,
+    /// Total bit-serial cycles the functional engine reported.
+    pub cycles: u64,
+    /// Activation groups dynamic precision detection reduced.
+    pub reduced_groups: u64,
+    /// Whether the functional trace was bit-identical to the golden trace.
+    /// CI fails the job when false.
+    pub matches_reference: bool,
+}
+
+/// Batched-throughput measurement: one network run as a batch on one worker
+/// thread and again on `threads` workers, with bit-exact result comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchBench {
+    /// Network the batch ran.
+    pub network: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Wall-clock seconds of the batch on one worker thread.
+    pub serial_seconds: f64,
+    /// Wall-clock seconds of the batch on `threads` workers.
+    pub parallel_seconds: f64,
+    /// Whether the parallel results were bit-identical to the serial ones.
+    pub identical: bool,
+}
+
+impl BatchBench {
+    /// Serial-over-parallel wall-clock ratio (1.0 when parallel time is 0).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_seconds > 0.0 {
+            self.serial_seconds / self.parallel_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One functional-benchmark measurement: the SIP kernel micro-benchmarks, a
+/// mid-size convolutional layer run end to end through the functional engine
+/// on both kernels, the zoo networks through the whole-network engine against
+/// the golden model, and a batched-throughput point. Rendered as
+/// machine-readable JSON by [`functional_bench_to_json`] (consumed by CI as
+/// `BENCH_functional.json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionalBenchReport {
     /// Kernel micro-benchmark points, one per operand precision.
@@ -239,6 +293,13 @@ pub struct FunctionalBenchReport {
     /// Whether the two engine paths produced identical functional runs
     /// (outputs, cycles, and reduced groups). CI fails the job when false.
     pub kernels_agree: bool,
+    /// Cores the benchmarking machine exposed (contextualises the batch
+    /// speedup: a single-core runner cannot show one).
+    pub available_parallelism: usize,
+    /// Whole-network zoo runs, in suite order.
+    pub zoo: Vec<ZooFunctionalRow>,
+    /// Batched-throughput measurement, if the benchmark ran one.
+    pub batch: Option<BatchBench>,
 }
 
 impl FunctionalBenchReport {
@@ -250,6 +311,15 @@ impl FunctionalBenchReport {
         } else {
             1.0
         }
+    }
+
+    /// Whether every bit-exactness check in the report passed: the two SIP
+    /// kernels, every zoo network against the golden model, and the parallel
+    /// batch against the serial one. CI fails the job when false.
+    pub fn all_agree(&self) -> bool {
+        self.kernels_agree
+            && self.zoo.iter().all(|z| z.matches_reference)
+            && self.batch.as_ref().map_or(true, |b| b.identical)
     }
 }
 
@@ -290,7 +360,45 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
         report.conv_packed_seconds
     );
     let _ = writeln!(out, "  \"conv_speedup\": {:.4},", report.conv_speedup());
-    let _ = writeln!(out, "  \"kernels_agree\": {}", report.kernels_agree);
+    let _ = writeln!(out, "  \"kernels_agree\": {},", report.kernels_agree);
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        report.available_parallelism
+    );
+    out.push_str("  \"zoo\": [\n");
+    for (i, z) in report.zoo.iter().enumerate() {
+        let comma = if i + 1 < report.zoo.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"network\": {}, \"nodes\": {}, \"macs\": {}, \"golden_seconds\": {:.6}, \"functional_seconds\": {:.6}, \"cycles\": {}, \"reduced_groups\": {}, \"matches_reference\": {}}}{comma}",
+            json_string(&z.network),
+            z.nodes,
+            z.macs,
+            z.golden_seconds,
+            z.functional_seconds,
+            z.cycles,
+            z.reduced_groups,
+            z.matches_reference
+        );
+    }
+    out.push_str("  ],\n");
+    match &report.batch {
+        Some(b) => {
+            let _ = writeln!(
+                out,
+                "  \"batch\": {{\"network\": {}, \"batch\": {}, \"threads\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}",
+                json_string(&b.network),
+                b.batch,
+                b.threads,
+                b.serial_seconds,
+                b.parallel_seconds,
+                b.speedup(),
+                b.identical
+            );
+        }
+        None => out.push_str("  \"batch\": null\n"),
+    }
     out.push_str("}\n");
     out
 }
@@ -382,6 +490,25 @@ mod tests {
             conv_serial_seconds: 2.0,
             conv_packed_seconds: 0.2,
             kernels_agree: true,
+            available_parallelism: 4,
+            zoo: vec![ZooFunctionalRow {
+                network: "MiniGoogLeNet".into(),
+                nodes: 30,
+                macs: 1_000_000,
+                golden_seconds: 0.5,
+                functional_seconds: 1.5,
+                cycles: 123,
+                reduced_groups: 7,
+                matches_reference: true,
+            }],
+            batch: Some(BatchBench {
+                network: "AlexNet".into(),
+                batch: 4,
+                threads: 4,
+                serial_seconds: 8.0,
+                parallel_seconds: 2.0,
+                identical: true,
+            }),
         };
         assert!((report.conv_speedup() - 10.0).abs() < 1e-12);
         assert!((report.kernels[0].speedup() - 25.0).abs() < 1e-12);
@@ -390,7 +517,23 @@ mod tests {
         assert!(json.contains("\"speedup\": 25.00"));
         assert!(json.contains("\"conv_speedup\": 10.0000"));
         assert!(json.contains("\"kernels_agree\": true"));
+        assert!(json.contains("\"network\": \"MiniGoogLeNet\""));
+        assert!(json.contains("\"matches_reference\": true"));
+        assert!(json.contains("\"speedup\": 4.0000"));
+        assert!(report.all_agree());
+        assert!((report.batch.as_ref().unwrap().speedup() - 4.0).abs() < 1e-12);
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+        // A diverging zoo row or batch flips the aggregate gate.
+        let mut bad = report.clone();
+        bad.zoo[0].matches_reference = false;
+        assert!(!bad.all_agree());
+        let mut bad = report.clone();
+        bad.batch.as_mut().unwrap().identical = false;
+        assert!(!bad.all_agree());
+        let mut no_batch = report.clone();
+        no_batch.batch = None;
+        assert!(no_batch.all_agree());
+        assert!(functional_bench_to_json(&no_batch).contains("\"batch\": null"));
         let degenerate = KernelBench {
             precision_bits: 4,
             serial_ns: 1.0,

@@ -1,0 +1,994 @@
+//! Explicit layer graphs: the DAG form of a network, with branch and concat
+//! nodes, topological scheduling, and per-edge tensor buffers.
+//!
+//! A [`crate::network::Network`] is an ordered list of layers — enough for the
+//! cycle models, which only need per-layer geometry, but not for *executing*
+//! topologies that branch, like GoogLeNet's inception modules. A
+//! [`LayerGraph`] generalises the chain: every node names the node(s) it reads
+//! from, a [`Concat`](NodeOp::Concat) node merges parallel branches along the
+//! channel dimension, and execution walks a topological schedule keeping each
+//! intermediate tensor alive only while consumers remain.
+//!
+//! Linear networks lift into graphs with [`LayerGraph::from_network`], which
+//! is how [`crate::inference::run_chain`] is implemented; branching networks
+//! are assembled with [`GraphBuilder`], naming each node's inputs (the
+//! reserved name [`GRAPH_INPUT`] is the graph's input tensor):
+//!
+//! ```
+//! use loom_model::graph::GraphBuilder;
+//! use loom_model::layer::ConvSpec;
+//!
+//! // A miniature inception-style module: two parallel convolutions over the
+//! // same stem, concatenated along channels.
+//! let branch3 = ConvSpec {
+//!     padding: 1,
+//!     ..ConvSpec::simple(4, 4, 4, 2, 3)
+//! };
+//! let graph = GraphBuilder::new("tiny-inception")
+//!     .conv("stem", "input", ConvSpec::simple(1, 6, 6, 4, 3))
+//!     .conv("b1", "stem", ConvSpec::simple(4, 4, 4, 2, 1))
+//!     .conv("b3", "stem", branch3)
+//!     .concat("merge", &["b1", "b3"])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(graph.nodes().len(), 4);
+//! assert_eq!(graph.concat_nodes().count(), 1);
+//! ```
+//!
+//! Execution ([`LayerGraph::run`], [`LayerGraph::run_batch`]) produces the
+//! same [`crate::inference::InferenceTrace`] the chain executor always has;
+//! the quantized inter-layer pipeline (re-quantization shift, ReLU, precision
+//! clamps) is identical. The inner-product arithmetic is pluggable through
+//! [`GraphCompute`], which is how the functional Loom engine in `loom-sim`
+//! runs whole networks through the bit-serial datapath while sharing every
+//! line of the scheduling and re-quantization logic with the golden model.
+
+use crate::fixed::Precision;
+use crate::inference::{
+    InferenceError, InferenceOptions, InferenceTrace, LayerTrace, NetworkParams,
+};
+use crate::layer::{ConvSpec, FcSpec, LayerError, LayerKind, PoolSpec};
+use crate::network::Network;
+use crate::quant::{apply_precision, choose_requant_shift, requantize};
+use crate::reference::{conv_forward, fc_forward, max_pool_forward, relu_in_place};
+use crate::tensor::{Shape3, Shape4, Tensor3, Tensor4};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reserved source name referring to the graph's input tensor.
+pub const GRAPH_INPUT: &str = "input";
+
+/// Where a node reads a tensor from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The graph's input tensor.
+    Input,
+    /// The output of another node, by index into [`LayerGraph::nodes`].
+    Node(usize),
+}
+
+/// What a graph node computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeOp {
+    /// A network layer (convolution, fully-connected, or max-pooling).
+    Layer(LayerKind),
+    /// Channel-wise concatenation of two or more branches with equal spatial
+    /// dimensions (the merge at the end of an inception module).
+    Concat,
+}
+
+/// One node of a [`LayerGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphNode {
+    /// Unique node name (e.g. `inception_3a/3x3`).
+    pub name: String,
+    /// The operation the node performs.
+    pub op: NodeOp,
+    /// The tensors the node consumes, in order (concatenation order for
+    /// [`NodeOp::Concat`] nodes).
+    pub sources: Vec<Source>,
+}
+
+/// Error produced when assembling or scheduling a [`LayerGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// A node names itself after the reserved graph input.
+    ReservedName,
+    /// A node reads from a name no node defines.
+    UnknownSource {
+        /// Node whose source did not resolve.
+        node: String,
+        /// The unresolved source name.
+        source: String,
+    },
+    /// The graph contains a dependency cycle.
+    Cycle,
+    /// The graph has more than one sink; execution needs a unique output.
+    MultipleSinks(Vec<String>),
+    /// A concat node has fewer than two inputs.
+    ConcatArity(String),
+    /// A layer's geometry is invalid.
+    InvalidLayer(LayerError),
+    /// A concat node's inputs disagree on spatial dimensions.
+    ConcatShape {
+        /// The concat node.
+        node: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNode(n) => write!(f, "duplicate node name {n}"),
+            GraphError::ReservedName => {
+                write!(f, "{GRAPH_INPUT:?} is reserved for the graph input")
+            }
+            GraphError::UnknownSource { node, source } => {
+                write!(f, "node {node} reads from unknown source {source}")
+            }
+            GraphError::Cycle => write!(f, "the layer graph contains a cycle"),
+            GraphError::MultipleSinks(sinks) => {
+                write!(f, "graph has multiple sinks ({})", sinks.join(", "))
+            }
+            GraphError::ConcatArity(n) => {
+                write!(f, "concat node {n} needs at least two inputs")
+            }
+            GraphError::InvalidLayer(e) => write!(f, "{e}"),
+            GraphError::ConcatShape { node } => {
+                write!(
+                    f,
+                    "concat node {node} inputs disagree on spatial dimensions"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<LayerError> for GraphError {
+    fn from(e: LayerError) -> Self {
+        GraphError::InvalidLayer(e)
+    }
+}
+
+/// The inner-product arithmetic a graph execution uses for its compute
+/// layers. The default is [`ReferenceCompute`] (the golden integer kernels);
+/// the functional Loom engine in `loom-sim` supplies a bit-serial
+/// implementation, so both paths share the scheduling, re-quantization, ReLU,
+/// pooling and concatenation logic and any output difference is attributable
+/// to the inner products alone.
+///
+/// Implementations return the layer's wide accumulators in the golden layout
+/// (filter-major for convolutions, output order for fully-connected layers)
+/// and may accumulate side information (the functional engine counts cycles).
+pub trait GraphCompute {
+    /// Computes a convolutional layer's accumulators.
+    fn conv(
+        &mut self,
+        layer: &str,
+        spec: &ConvSpec,
+        input: &Tensor3,
+        weights: &Tensor4,
+    ) -> Vec<i64>;
+    /// Computes a fully-connected layer's accumulators.
+    fn fc(&mut self, layer: &str, spec: &FcSpec, input: &[i32], weights: &[i32]) -> Vec<i64>;
+}
+
+/// The golden integer kernels as a [`GraphCompute`] backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceCompute;
+
+impl GraphCompute for ReferenceCompute {
+    fn conv(
+        &mut self,
+        _layer: &str,
+        spec: &ConvSpec,
+        input: &Tensor3,
+        weights: &Tensor4,
+    ) -> Vec<i64> {
+        conv_forward(spec, input, weights)
+    }
+
+    fn fc(&mut self, _layer: &str, spec: &FcSpec, input: &[i32], weights: &[i32]) -> Vec<i64> {
+        fc_forward(spec, input, weights)
+    }
+}
+
+/// A validated, schedulable layer DAG.
+///
+/// Construct with [`GraphBuilder`] or lift a linear [`Network`] with
+/// [`LayerGraph::from_network`]; execute with [`LayerGraph::run`] /
+/// [`LayerGraph::run_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerGraph {
+    name: String,
+    nodes: Vec<GraphNode>,
+    /// Topological execution order (the unique sink is always last).
+    schedule: Vec<usize>,
+    /// Index of the output (sink) node.
+    output: usize,
+}
+
+impl LayerGraph {
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, in builder order.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// The topological execution order (indices into [`LayerGraph::nodes`]).
+    pub fn schedule(&self) -> &[usize] {
+        &self.schedule
+    }
+
+    /// The output (sink) node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty (an empty builder produces an empty
+    /// graph, which has no sink).
+    pub fn output_node(&self) -> &GraphNode {
+        &self.nodes[self.output]
+    }
+
+    /// Looks up a node by name.
+    pub fn node(&self, name: &str) -> Option<&GraphNode> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// The compute (conv + FC) nodes in execution order, as
+    /// `(name, layer kind)` pairs. This order defines the positional weight
+    /// layout [`NetworkParams::synthetic_for_graph`] generates.
+    pub fn compute_layers(&self) -> impl Iterator<Item = (&str, &LayerKind)> {
+        self.schedule.iter().filter_map(move |&i| {
+            let node = &self.nodes[i];
+            match &node.op {
+                NodeOp::Layer(kind) if kind.is_compute() => Some((node.name.as_str(), kind)),
+                _ => None,
+            }
+        })
+    }
+
+    /// The concat nodes, in builder order.
+    pub fn concat_nodes(&self) -> impl Iterator<Item = &GraphNode> {
+        self.nodes.iter().filter(|n| n.op == NodeOp::Concat)
+    }
+
+    /// The input tensor shape the graph expects: the declared input shape of
+    /// the first scheduled node reading the graph input. `None` when the
+    /// graph is empty or its entry layer is fully-connected (which consumes a
+    /// flat vector).
+    pub fn input_shape(&self) -> Option<Shape3> {
+        self.schedule.iter().find_map(|&i| {
+            let node = &self.nodes[i];
+            if !node.sources.contains(&Source::Input) {
+                return None;
+            }
+            match &node.op {
+                NodeOp::Layer(LayerKind::Conv(c)) => Some(c.input_shape()),
+                NodeOp::Layer(LayerKind::MaxPool(p)) => Some(p.input_shape()),
+                _ => None,
+            }
+        })
+    }
+
+    /// Total multiply-accumulate operations over all layer nodes.
+    pub fn total_macs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                NodeOp::Layer(kind) => kind.macs(),
+                NodeOp::Concat => 0,
+            })
+            .sum()
+    }
+
+    /// Lifts a linear [`Network`] into a graph: each layer reads the previous
+    /// one (the first reads the graph input). Never fails — the network's
+    /// layers were validated at construction, and the chain shape checks stay
+    /// where they always were, at execution time.
+    pub fn from_network(network: &Network) -> Self {
+        let nodes: Vec<GraphNode> = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| GraphNode {
+                name: layer.name.clone(),
+                op: NodeOp::Layer(layer.kind),
+                sources: vec![if i == 0 {
+                    Source::Input
+                } else {
+                    Source::Node(i - 1)
+                }],
+            })
+            .collect();
+        let output = nodes.len().saturating_sub(1);
+        LayerGraph {
+            name: network.name().to_string(),
+            schedule: (0..nodes.len()).collect(),
+            nodes,
+            output,
+        }
+    }
+
+    /// Runs a quantized forward pass with the golden reference kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferenceError::ShapeMismatch`] if a node's input does not
+    /// match its declared geometry, [`InferenceError::Empty`] for an empty
+    /// graph, or [`InferenceError::Graph`] if concatenated branches disagree
+    /// on spatial dimensions.
+    pub fn run(
+        &self,
+        params: &NetworkParams,
+        input: &Tensor3,
+        options: InferenceOptions,
+    ) -> Result<InferenceTrace, InferenceError> {
+        self.run_with(params, input, options, &[], &mut ReferenceCompute)
+    }
+
+    /// Runs a forward pass over every input in `inputs`, in order. The traces
+    /// are independent — running a batch of N is exactly N runs of batch 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-input error, as [`LayerGraph::run`] would.
+    pub fn run_batch(
+        &self,
+        params: &NetworkParams,
+        inputs: &[Tensor3],
+        options: InferenceOptions,
+    ) -> Result<Vec<InferenceTrace>, InferenceError> {
+        inputs
+            .iter()
+            .map(|input| self.run(params, input, options))
+            .collect()
+    }
+
+    /// Runs a forward pass like [`LayerGraph::run`], additionally clamping the
+    /// input of the `j`-th compute node (in execution order) to
+    /// `compute_precisions[j]` — the knob the precision profiler turns. The
+    /// clamp is local to the consuming node: sibling branches reading the same
+    /// tensor see the unclamped values.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerGraph::run`].
+    pub fn run_with_precisions(
+        &self,
+        params: &NetworkParams,
+        input: &Tensor3,
+        options: InferenceOptions,
+        compute_precisions: &[Precision],
+    ) -> Result<InferenceTrace, InferenceError> {
+        self.run_with(
+            params,
+            input,
+            options,
+            compute_precisions,
+            &mut ReferenceCompute,
+        )
+    }
+
+    /// Runs a forward pass with a caller-supplied [`GraphCompute`] backend.
+    /// This is the single executor every path shares: topological order,
+    /// per-edge buffers freed at the last consumer, per-layer re-quantization
+    /// (`choose_requant_shift` on the backend's accumulators), optional ReLU,
+    /// pooling and concatenation.
+    ///
+    /// Weights are taken positionally from `params` in compute-node execution
+    /// order (the order [`LayerGraph::compute_layers`] yields).
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerGraph::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` holds fewer weight sets than the graph has compute
+    /// nodes, or if a fully-connected weight set has the wrong length.
+    pub fn run_with(
+        &self,
+        params: &NetworkParams,
+        input: &Tensor3,
+        options: InferenceOptions,
+        compute_precisions: &[Precision],
+        backend: &mut dyn GraphCompute,
+    ) -> Result<InferenceTrace, InferenceError> {
+        if self.nodes.is_empty() {
+            return Err(InferenceError::Empty);
+        }
+        // Per-edge liveness: how many consumers each node's output still has.
+        // The output node gets one extra so its buffer survives the walk.
+        let mut remaining = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for source in &node.sources {
+                if let Source::Node(i) = source {
+                    remaining[*i] += 1;
+                }
+            }
+        }
+        remaining[self.output] += 1;
+
+        let mut buffers: Vec<Option<(Vec<i32>, Shape3)>> = vec![None; self.nodes.len()];
+        let mut traces = Vec::with_capacity(self.nodes.len());
+        let mut compute_idx = 0usize;
+
+        for &idx in &self.schedule {
+            let node = &self.nodes[idx];
+            let bind = |source: &Source| -> (&[i32], Shape3) {
+                match source {
+                    Source::Input => (input.as_slice(), input.shape()),
+                    Source::Node(i) => {
+                        let (values, shape) = buffers[*i]
+                            .as_ref()
+                            .expect("schedule orders every source before its consumers");
+                        (values.as_slice(), *shape)
+                    }
+                }
+            };
+
+            let trace = match &node.op {
+                NodeOp::Layer(LayerKind::Conv(spec)) => {
+                    spec.validate()?;
+                    let (values, _) = bind(&node.sources[0]);
+                    let mut values = values.to_vec();
+                    if let Some(&p) = compute_precisions.get(compute_idx) {
+                        values = apply_precision(&values, p);
+                    }
+                    let expected = spec.input_shape().len();
+                    if values.len() != expected {
+                        return Err(InferenceError::ShapeMismatch {
+                            layer: node.name.clone(),
+                            produced: values.len(),
+                            expected,
+                        });
+                    }
+                    let in_tensor = Tensor3::from_vec(spec.input_shape(), values.clone())
+                        .expect("length checked above");
+                    let weights = &params.layers()[compute_idx];
+                    compute_idx += 1;
+                    let w_shape = spec.weight_shape();
+                    let w_tensor = Tensor4::from_vec(
+                        Shape4::new(w_shape.k, w_shape.c, w_shape.h, w_shape.w),
+                        weights.values.clone(),
+                    )
+                    .map_err(|_| InferenceError::ShapeMismatch {
+                        layer: node.name.clone(),
+                        produced: weights.values.len(),
+                        expected: w_shape.len(),
+                    })?;
+                    let acc = backend.conv(&node.name, spec, &in_tensor, &w_tensor);
+                    let shift = choose_requant_shift(&acc, options.activation_precision);
+                    let mut out = requantize(&acc, shift, options.activation_precision);
+                    if options.relu {
+                        relu_in_place(&mut out);
+                    }
+                    buffers[idx] = Some((out.clone(), spec.output_shape()));
+                    LayerTrace {
+                        layer_name: node.name.clone(),
+                        inputs: values,
+                        accumulators: acc,
+                        outputs: out,
+                        requant_shift: shift,
+                    }
+                }
+                NodeOp::Layer(LayerKind::FullyConnected(spec)) => {
+                    spec.validate()?;
+                    let (values, _) = bind(&node.sources[0]);
+                    let mut values = values.to_vec();
+                    if let Some(&p) = compute_precisions.get(compute_idx) {
+                        values = apply_precision(&values, p);
+                    }
+                    if values.len() != spec.in_features {
+                        return Err(InferenceError::ShapeMismatch {
+                            layer: node.name.clone(),
+                            produced: values.len(),
+                            expected: spec.in_features,
+                        });
+                    }
+                    let weights = &params.layers()[compute_idx];
+                    compute_idx += 1;
+                    let acc = backend.fc(&node.name, spec, &values, &weights.values);
+                    let shift = choose_requant_shift(&acc, options.activation_precision);
+                    let mut out = requantize(&acc, shift, options.activation_precision);
+                    if options.relu {
+                        relu_in_place(&mut out);
+                    }
+                    buffers[idx] = Some((out.clone(), Shape3::new(spec.out_features, 1, 1)));
+                    LayerTrace {
+                        layer_name: node.name.clone(),
+                        inputs: values,
+                        accumulators: acc,
+                        outputs: out,
+                        requant_shift: shift,
+                    }
+                }
+                NodeOp::Layer(LayerKind::MaxPool(spec)) => {
+                    let (values, _) = bind(&node.sources[0]);
+                    let values = values.to_vec();
+                    let expected = spec.input_shape().len();
+                    if values.len() != expected {
+                        return Err(InferenceError::ShapeMismatch {
+                            layer: node.name.clone(),
+                            produced: values.len(),
+                            expected,
+                        });
+                    }
+                    let in_tensor = Tensor3::from_vec(spec.input_shape(), values.clone())
+                        .expect("length checked above");
+                    let out_tensor = max_pool_forward(spec, &in_tensor);
+                    let out = out_tensor.as_slice().to_vec();
+                    buffers[idx] = Some((out.clone(), spec.output_shape()));
+                    LayerTrace {
+                        layer_name: node.name.clone(),
+                        inputs: values,
+                        accumulators: Vec::new(),
+                        outputs: out,
+                        requant_shift: 0,
+                    }
+                }
+                NodeOp::Concat => {
+                    let bound: Vec<(&[i32], Shape3)> = node.sources.iter().map(&bind).collect();
+                    let (h, w) = (bound[0].1.h, bound[0].1.w);
+                    if bound.iter().any(|(_, s)| s.h != h || s.w != w) {
+                        return Err(InferenceError::Graph(GraphError::ConcatShape {
+                            node: node.name.clone(),
+                        }));
+                    }
+                    let channels = bound.iter().map(|(_, s)| s.c).sum();
+                    let mut out = Vec::with_capacity(bound.iter().map(|(v, _)| v.len()).sum());
+                    for (values, _) in &bound {
+                        out.extend_from_slice(values);
+                    }
+                    buffers[idx] = Some((out.clone(), Shape3::new(channels, h, w)));
+                    // Concat moves no values through the datapath; its trace
+                    // records the merged tensor as outputs and leaves inputs
+                    // empty rather than duplicating every branch.
+                    LayerTrace {
+                        layer_name: node.name.clone(),
+                        inputs: Vec::new(),
+                        accumulators: Vec::new(),
+                        outputs: out,
+                        requant_shift: 0,
+                    }
+                }
+            };
+            traces.push(trace);
+
+            // Release source buffers whose last consumer just ran.
+            for source in &self.nodes[idx].sources {
+                if let Source::Node(i) = source {
+                    remaining[*i] -= 1;
+                    if remaining[*i] == 0 {
+                        buffers[*i] = None;
+                    }
+                }
+            }
+        }
+        Ok(InferenceTrace { layers: traces })
+    }
+}
+
+impl fmt::Display for LayerGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nodes, {:.2} GMACs)",
+            self.name,
+            self.nodes.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+/// Incrementally assembles a [`LayerGraph`], naming every node's sources.
+///
+/// See the [module documentation](self) for a complete example.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<(String, NodeOp, Vec<String>)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(mut self, name: impl Into<String>, op: NodeOp, sources: Vec<String>) -> Self {
+        self.nodes.push((name.into(), op, sources));
+        self
+    }
+
+    /// Adds a convolutional node reading from `source`.
+    pub fn conv(self, name: impl Into<String>, source: &str, spec: ConvSpec) -> Self {
+        self.push(
+            name,
+            NodeOp::Layer(LayerKind::Conv(spec)),
+            vec![source.into()],
+        )
+    }
+
+    /// Adds a fully-connected node reading from `source` (the source tensor
+    /// is consumed flattened).
+    pub fn fully_connected(self, name: impl Into<String>, source: &str, spec: FcSpec) -> Self {
+        self.push(
+            name,
+            NodeOp::Layer(LayerKind::FullyConnected(spec)),
+            vec![source.into()],
+        )
+    }
+
+    /// Adds a max-pooling node reading from `source`.
+    pub fn max_pool(self, name: impl Into<String>, source: &str, spec: PoolSpec) -> Self {
+        self.push(
+            name,
+            NodeOp::Layer(LayerKind::MaxPool(spec)),
+            vec![source.into()],
+        )
+    }
+
+    /// Adds a channel-wise concatenation of two or more named branches.
+    pub fn concat(self, name: impl Into<String>, sources: &[&str]) -> Self {
+        self.push(
+            name,
+            NodeOp::Concat,
+            sources.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    /// Resolves names, validates layer geometry, checks for cycles, and
+    /// computes the topological schedule. The graph must have exactly one
+    /// sink (a node nothing reads from), which becomes the output.
+    ///
+    /// An empty builder produces an empty graph, which [`LayerGraph::run`]
+    /// rejects with [`InferenceError::Empty`] — matching the chain executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for duplicate or reserved node names,
+    /// unresolved sources, concat nodes with fewer than two inputs, invalid
+    /// layer geometry, dependency cycles, or multiple sinks.
+    pub fn build(self) -> Result<LayerGraph, GraphError> {
+        let mut index: HashMap<&str, usize> = HashMap::with_capacity(self.nodes.len());
+        for (i, (name, _, _)) in self.nodes.iter().enumerate() {
+            if name == GRAPH_INPUT {
+                return Err(GraphError::ReservedName);
+            }
+            if index.insert(name.as_str(), i).is_some() {
+                return Err(GraphError::DuplicateNode(name.clone()));
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for (name, op, sources) in &self.nodes {
+            match op {
+                NodeOp::Layer(LayerKind::Conv(spec)) => spec.validate()?,
+                NodeOp::Layer(LayerKind::FullyConnected(spec)) => spec.validate()?,
+                NodeOp::Layer(LayerKind::MaxPool(spec)) => spec.validate()?,
+                NodeOp::Concat => {
+                    if sources.len() < 2 {
+                        return Err(GraphError::ConcatArity(name.clone()));
+                    }
+                }
+            }
+            let sources = sources
+                .iter()
+                .map(|s| {
+                    if s == GRAPH_INPUT {
+                        Ok(Source::Input)
+                    } else {
+                        index
+                            .get(s.as_str())
+                            .map(|&i| Source::Node(i))
+                            .ok_or_else(|| GraphError::UnknownSource {
+                                node: name.clone(),
+                                source: s.clone(),
+                            })
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            nodes.push(GraphNode {
+                name: name.clone(),
+                op: op.clone(),
+                sources,
+            });
+        }
+
+        if nodes.is_empty() {
+            return Ok(LayerGraph {
+                name: self.name,
+                nodes,
+                schedule: Vec::new(),
+                output: 0,
+            });
+        }
+
+        // Kahn's algorithm with lowest-index tie-breaking: deterministic, and
+        // a builder listed in dependency order schedules in builder order.
+        let mut indegree = vec![0usize; nodes.len()];
+        let mut consumers = vec![0usize; nodes.len()];
+        for node in &nodes {
+            for source in &node.sources {
+                if let Source::Node(i) = source {
+                    consumers[*i] += 1;
+                }
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            indegree[i] = node
+                .sources
+                .iter()
+                .filter(|s| matches!(s, Source::Node(_)))
+                .count();
+        }
+        let mut schedule = Vec::with_capacity(nodes.len());
+        let mut ready: Vec<bool> = indegree.iter().map(|&d| d == 0).collect();
+        while schedule.len() < nodes.len() {
+            let Some(next) = ready.iter().position(|&r| r) else {
+                return Err(GraphError::Cycle);
+            };
+            ready[next] = false;
+            schedule.push(next);
+            for (i, node) in nodes.iter().enumerate() {
+                for source in &node.sources {
+                    if *source == Source::Node(next) {
+                        indegree[i] -= 1;
+                        if indegree[i] == 0 {
+                            ready[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let sinks: Vec<usize> = (0..nodes.len()).filter(|&i| consumers[i] == 0).collect();
+        let output = match sinks.as_slice() {
+            [single] => *single,
+            // No sink with nodes present means every node is consumed — a
+            // cycle, caught above; multiple sinks are ambiguous.
+            _ => {
+                return Err(GraphError::MultipleSinks(
+                    sinks.iter().map(|&i| nodes[i].name.clone()).collect(),
+                ))
+            }
+        };
+
+        Ok(LayerGraph {
+            name: self.name,
+            nodes,
+            schedule,
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+    use crate::network::NetworkBuilder;
+    use crate::synthetic::{synthetic_activations, ValueDistribution};
+    use crate::tensor::Shape3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn branching() -> LayerGraph {
+        // stem 2x6x6 -> 4x4x4, then a 1x1 and a padded 3x3 branch, merged.
+        let b3 = ConvSpec {
+            padding: 1,
+            ..ConvSpec::simple(4, 4, 4, 3, 3)
+        };
+        GraphBuilder::new("fork")
+            .conv("stem", GRAPH_INPUT, ConvSpec::simple(2, 6, 6, 4, 3))
+            .conv("b1", "stem", ConvSpec::simple(4, 4, 4, 2, 1))
+            .conv("b3", "stem", b3)
+            .max_pool("bp", "stem", PoolSpec::new(4, 4, 4, 3, 1).with_padding(1))
+            .concat("merge", &["b1", "b3", "bp"])
+            .fully_connected("fc", "merge", FcSpec::new((2 + 3 + 4) * 16, 5))
+            .build()
+            .unwrap()
+    }
+
+    fn input(seed: u64) -> Tensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = synthetic_activations(
+            &mut rng,
+            2 * 6 * 6,
+            Precision::new(7).unwrap(),
+            ValueDistribution::activations(),
+        );
+        Tensor3::from_vec(Shape3::new(2, 6, 6), values).unwrap()
+    }
+
+    #[test]
+    fn branching_graph_runs_and_concat_merges_channels() {
+        let graph = branching();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 11);
+        let trace = graph
+            .run(&params, &input(3), InferenceOptions::default())
+            .unwrap();
+        assert_eq!(trace.layers.len(), 6);
+        let merge = trace.for_layer("merge").unwrap();
+        assert_eq!(merge.outputs.len(), (2 + 3 + 4) * 16);
+        // Concatenation preserves branch order: the first 2*16 values are b1's.
+        let b1 = trace.for_layer("b1").unwrap();
+        assert_eq!(&merge.outputs[..b1.outputs.len()], b1.outputs.as_slice());
+        assert_eq!(trace.final_outputs().len(), 5);
+    }
+
+    #[test]
+    fn graph_execution_is_deterministic() {
+        let graph = branching();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 11);
+        let a = graph
+            .run(&params, &input(3), InferenceOptions::default())
+            .unwrap();
+        let b = graph
+            .run(&params, &input(3), InferenceOptions::default())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_network_matches_chain_semantics() {
+        let net = NetworkBuilder::new("chain")
+            .conv("c1", ConvSpec::simple(2, 8, 8, 4, 3))
+            .max_pool("p1", PoolSpec::new(4, 6, 6, 2, 2))
+            .fully_connected("f1", FcSpec::new(4 * 3 * 3, 7))
+            .build()
+            .unwrap();
+        let graph = LayerGraph::from_network(&net);
+        assert_eq!(graph.schedule(), &[0, 1, 2]);
+        assert_eq!(graph.output_node().name, "f1");
+        assert_eq!(graph.compute_layers().count(), 2);
+        assert_eq!(graph.total_macs(), net.total_macs());
+    }
+
+    #[test]
+    fn builder_rejects_structural_errors() {
+        let spec = ConvSpec::simple(1, 4, 4, 1, 1);
+        // Duplicate name.
+        let err = GraphBuilder::new("g")
+            .conv("a", GRAPH_INPUT, spec)
+            .conv("a", GRAPH_INPUT, spec)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::DuplicateNode("a".into()));
+        // Unknown source.
+        let err = GraphBuilder::new("g")
+            .conv("a", "nope", spec)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownSource { .. }));
+        // Reserved name.
+        let err = GraphBuilder::new("g")
+            .conv(GRAPH_INPUT, GRAPH_INPUT, spec)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::ReservedName);
+        // Cycle.
+        let err = GraphBuilder::new("g")
+            .conv("a", "b", spec)
+            .conv("b", "a", spec)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::Cycle);
+        // Two sinks.
+        let err = GraphBuilder::new("g")
+            .conv("a", GRAPH_INPUT, spec)
+            .conv("b", GRAPH_INPUT, spec)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::MultipleSinks(_)));
+        // Single-input concat.
+        let err = GraphBuilder::new("g")
+            .conv("a", GRAPH_INPUT, spec)
+            .concat("c", &["a"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::ConcatArity("c".into()));
+        // Every error Display is non-empty.
+        for e in [
+            GraphError::Cycle,
+            GraphError::ReservedName,
+            GraphError::DuplicateNode("x".into()),
+            GraphError::ConcatShape { node: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn concat_shape_mismatch_is_reported_at_execution() {
+        // 1x1 branch keeps 4x4; unpadded 3x3 branch shrinks to 2x2.
+        let graph = GraphBuilder::new("bad")
+            .conv("stem", GRAPH_INPUT, ConvSpec::simple(2, 6, 6, 4, 3))
+            .conv("b1", "stem", ConvSpec::simple(4, 4, 4, 2, 1))
+            .conv("b3", "stem", ConvSpec::simple(4, 4, 4, 2, 3))
+            .concat("merge", &["b1", "b3"])
+            .build()
+            .unwrap();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 1);
+        let err = graph
+            .run(&params, &input(3), InferenceOptions::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            InferenceError::Graph(GraphError::ConcatShape { .. })
+        ));
+    }
+
+    #[test]
+    fn buffers_are_freed_after_the_last_consumer() {
+        // Structural proxy: executing a long chain must not error even though
+        // every intermediate buffer is dropped as soon as its consumer ran.
+        let net = NetworkBuilder::new("chain")
+            .conv("c1", ConvSpec::simple(1, 8, 8, 2, 3))
+            .conv("c2", ConvSpec::simple(2, 6, 6, 2, 3))
+            .conv("c3", ConvSpec::simple(2, 4, 4, 2, 3))
+            .build()
+            .unwrap();
+        let graph = LayerGraph::from_network(&net);
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(5).unwrap()], 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let values = synthetic_activations(
+            &mut rng,
+            64,
+            Precision::new(7).unwrap(),
+            ValueDistribution::activations(),
+        );
+        let input = Tensor3::from_vec(Shape3::new(1, 8, 8), values).unwrap();
+        let trace = graph
+            .run(&params, &input, InferenceOptions::default())
+            .unwrap();
+        assert_eq!(trace.layers.len(), 3);
+    }
+
+    #[test]
+    fn batch_is_elementwise_runs() {
+        let graph = branching();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 11);
+        let inputs = [input(1), input(2), input(3)];
+        let batch = graph
+            .run_batch(&params, &inputs, InferenceOptions::default())
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        for (i, one) in inputs.iter().enumerate() {
+            let single = graph
+                .run(&params, one, InferenceOptions::default())
+                .unwrap();
+            assert_eq!(batch[i], single);
+        }
+    }
+
+    #[test]
+    fn display_mentions_name_and_nodes() {
+        let g = branching();
+        let s = g.to_string();
+        assert!(s.contains("fork") && s.contains("6 nodes"));
+    }
+
+    #[test]
+    fn input_shape_reads_the_entry_node() {
+        assert_eq!(branching().input_shape(), Some(Shape3::new(2, 6, 6)));
+        let fc_first = GraphBuilder::new("flat")
+            .fully_connected("fc", GRAPH_INPUT, FcSpec::new(8, 2))
+            .build()
+            .unwrap();
+        assert_eq!(fc_first.input_shape(), None);
+    }
+}

@@ -1,19 +1,51 @@
-//! Quantized forward inference over a linear chain of layers.
+//! Quantized forward inference: the golden model the functional accelerator
+//! simulation is compared against, and the source of real activation values
+//! for the dynamic precision detectors.
 //!
-//! This is the golden model the functional accelerator simulation is compared
-//! against, and the source of real activation values for the dynamic precision
-//! detectors. It handles networks whose layers chain shape-to-shape (conv →
-//! pool → conv → … → fc); the large zoo networks with branching topologies
-//! (GoogLeNet) are only ever run through the *cycle* models, which need
-//! per-layer geometry rather than chained values.
+//! Execution is built on the DAG executor in [`crate::graph`]: a linear
+//! [`Network`] lifts into a [`LayerGraph`] whose nodes chain one after the
+//! other ([`run_chain`]), and branching topologies — GoogLeNet's inception
+//! modules with their four parallel branches and channel concatenation — are
+//! assembled directly with [`crate::graph::GraphBuilder`] and run through the
+//! same executor. Batched inputs go through [`run_batch`] (or
+//! [`LayerGraph::run_batch`]); each batch item is an independent forward
+//! pass, so a batch of N is bit-identical to N runs of batch 1.
+//!
+//! # Examples
+//!
+//! Run a batch through a small chain:
+//!
+//! ```
+//! use loom_model::inference::{run_batch, InferenceOptions, NetworkParams};
+//! use loom_model::layer::{ConvSpec, FcSpec};
+//! use loom_model::network::NetworkBuilder;
+//! use loom_model::tensor::{Shape3, Tensor3};
+//! use loom_model::Precision;
+//!
+//! let net = NetworkBuilder::new("tiny")
+//!     .conv("conv1", ConvSpec::simple(1, 5, 5, 2, 3))
+//!     .fully_connected("fc1", FcSpec::new(2 * 3 * 3, 4))
+//!     .build()
+//!     .unwrap();
+//! let params = NetworkParams::synthetic(&net, &[Precision::new(4).unwrap()], 1);
+//! let image = Tensor3::from_vec(Shape3::new(1, 5, 5), (0..25).collect()).unwrap();
+//! let traces = run_batch(
+//!     &net,
+//!     &params,
+//!     &[image.clone(), image],
+//!     InferenceOptions::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(traces.len(), 2);
+//! assert_eq!(traces[0], traces[1]); // identical inputs, identical traces
+//! ```
 
 use crate::fixed::Precision;
-use crate::layer::{LayerError, LayerKind};
+use crate::graph::{GraphError, LayerGraph};
+use crate::layer::LayerError;
 use crate::network::Network;
-use crate::quant::{choose_requant_shift, requantize};
-use crate::reference::{conv_forward, fc_forward, max_pool_forward, relu_in_place};
 use crate::synthetic::{synthetic_weights, ValueDistribution};
-use crate::tensor::{Shape4, Tensor3, Tensor4};
+use crate::tensor::Tensor3;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -34,6 +66,9 @@ pub enum InferenceError {
     Empty,
     /// A layer failed validation.
     Layer(LayerError),
+    /// The layer graph itself is malformed (unresolved source, cycle,
+    /// concatenated branches with mismatched spatial dimensions, …).
+    Graph(GraphError),
 }
 
 impl fmt::Display for InferenceError {
@@ -49,6 +84,7 @@ impl fmt::Display for InferenceError {
             ),
             InferenceError::Empty => write!(f, "network has no layers"),
             InferenceError::Layer(e) => write!(f, "{e}"),
+            InferenceError::Graph(e) => write!(f, "{e}"),
         }
     }
 }
@@ -58,6 +94,12 @@ impl std::error::Error for InferenceError {}
 impl From<LayerError> for InferenceError {
     fn from(e: LayerError) -> Self {
         InferenceError::Layer(e)
+    }
+}
+
+impl From<GraphError> for InferenceError {
+    fn from(e: GraphError) -> Self {
+        InferenceError::Graph(e)
     }
 }
 
@@ -92,19 +134,36 @@ impl NetworkParams {
     ///
     /// Panics if `weight_precisions` is empty.
     pub fn synthetic(network: &Network, weight_precisions: &[Precision], seed: u64) -> Self {
+        // A chain's compute order is its layer order, so lifting to a graph
+        // consumes the RNG identically — one generator loop to maintain.
+        Self::synthetic_for_graph(&LayerGraph::from_network(network), weight_precisions, seed)
+    }
+
+    /// Generates synthetic parameters for a [`LayerGraph`], one weight set per
+    /// compute node in execution order (the order
+    /// [`LayerGraph::compute_layers`] yields, which the graph executor also
+    /// uses to look weights up positionally). `weight_precisions` is cycled
+    /// if shorter than the number of compute nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_precisions` is empty.
+    pub fn synthetic_for_graph(
+        graph: &LayerGraph,
+        weight_precisions: &[Precision],
+        seed: u64,
+    ) -> Self {
         assert!(
             !weight_precisions.is_empty(),
             "at least one weight precision is required"
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights = Vec::new();
-        let mut idx = 0usize;
-        for layer in network.compute_layers() {
+        for (idx, (name, kind)) in graph.compute_layers().enumerate() {
             let precision = weight_precisions[idx % weight_precisions.len()];
-            idx += 1;
-            let count = layer.kind.total_weights() as usize;
+            let count = kind.total_weights() as usize;
             weights.push(LayerWeights {
-                layer_name: layer.name.clone(),
+                layer_name: name.to_string(),
                 values: synthetic_weights(&mut rng, count, precision, ValueDistribution::weights()),
             });
         }
@@ -220,119 +279,30 @@ pub fn run_chain_with_precisions(
     options: InferenceOptions,
     compute_layer_precisions: &[Precision],
 ) -> Result<InferenceTrace, InferenceError> {
-    if network.layers().is_empty() {
-        return Err(InferenceError::Empty);
-    }
-    let clamp_input = |current: &mut Vec<i32>, compute_idx: usize| {
-        if let Some(&p) = compute_layer_precisions.get(compute_idx) {
-            *current = crate::quant::apply_precision(current, p);
-        }
-    };
-    let mut traces = Vec::with_capacity(network.layers().len());
-    let mut current: Vec<i32> = input.as_slice().to_vec();
-    let mut current_shape = Some(input.shape());
-    let mut weight_idx = 0usize;
+    LayerGraph::from_network(network).run_with_precisions(
+        params,
+        input,
+        options,
+        compute_layer_precisions,
+    )
+}
 
-    for layer in network.layers() {
-        match &layer.kind {
-            LayerKind::Conv(spec) => {
-                spec.validate()?;
-                clamp_input(&mut current, weight_idx);
-                let expected = spec.input_shape().len();
-                if current.len() != expected {
-                    return Err(InferenceError::ShapeMismatch {
-                        layer: layer.name.clone(),
-                        produced: current.len(),
-                        expected,
-                    });
-                }
-                let in_tensor = Tensor3::from_vec(spec.input_shape(), current.clone())
-                    .expect("length checked above");
-                let weights = &params.layers()[weight_idx];
-                weight_idx += 1;
-                let w_shape = spec.weight_shape();
-                let w_tensor = Tensor4::from_vec(
-                    Shape4::new(w_shape.k, w_shape.c, w_shape.h, w_shape.w),
-                    weights.values.clone(),
-                )
-                .map_err(|_| InferenceError::ShapeMismatch {
-                    layer: layer.name.clone(),
-                    produced: weights.values.len(),
-                    expected: w_shape.len(),
-                })?;
-                let acc = conv_forward(spec, &in_tensor, &w_tensor);
-                let shift = choose_requant_shift(&acc, options.activation_precision);
-                let mut out = requantize(&acc, shift, options.activation_precision);
-                if options.relu {
-                    relu_in_place(&mut out);
-                }
-                traces.push(LayerTrace {
-                    layer_name: layer.name.clone(),
-                    inputs: current,
-                    accumulators: acc,
-                    outputs: out.clone(),
-                    requant_shift: shift,
-                });
-                current = out;
-                current_shape = Some(spec.output_shape());
-            }
-            LayerKind::FullyConnected(spec) => {
-                spec.validate()?;
-                clamp_input(&mut current, weight_idx);
-                if current.len() != spec.in_features {
-                    return Err(InferenceError::ShapeMismatch {
-                        layer: layer.name.clone(),
-                        produced: current.len(),
-                        expected: spec.in_features,
-                    });
-                }
-                let weights = &params.layers()[weight_idx];
-                weight_idx += 1;
-                let acc = fc_forward(spec, &current, &weights.values);
-                let shift = choose_requant_shift(&acc, options.activation_precision);
-                let mut out = requantize(&acc, shift, options.activation_precision);
-                if options.relu {
-                    relu_in_place(&mut out);
-                }
-                traces.push(LayerTrace {
-                    layer_name: layer.name.clone(),
-                    inputs: current,
-                    accumulators: acc,
-                    outputs: out.clone(),
-                    requant_shift: shift,
-                });
-                current = out;
-                current_shape = None;
-            }
-            LayerKind::MaxPool(spec) => {
-                let expected = spec.input_shape().len();
-                if current.len() != expected {
-                    return Err(InferenceError::ShapeMismatch {
-                        layer: layer.name.clone(),
-                        produced: current.len(),
-                        expected,
-                    });
-                }
-                let in_tensor = Tensor3::from_vec(spec.input_shape(), current.clone())
-                    .expect("length checked above");
-                let out_tensor = max_pool_forward(spec, &in_tensor);
-                let out = out_tensor.as_slice().to_vec();
-                traces.push(LayerTrace {
-                    layer_name: layer.name.clone(),
-                    inputs: current,
-                    accumulators: Vec::new(),
-                    outputs: out.clone(),
-                    requant_shift: 0,
-                });
-                current = out;
-                current_shape = Some(spec.output_shape());
-            }
-        }
-    }
-    // `current_shape` is tracked for future extensions (e.g. NCHW re-layout of
-    // the final feature map); silence the otherwise-unused assignment.
-    let _ = current_shape;
-    Ok(InferenceTrace { layers: traces })
+/// Runs a forward pass over every input in `inputs`, in order. Each item is
+/// an independent pass, so a batch of N is bit-identical to N calls of
+/// [`run_chain`]; see the [module example](self) for usage. The parallel
+/// batched engine in `loom-sim` produces the same traces from the bit-serial
+/// datapath.
+///
+/// # Errors
+///
+/// Propagates the first per-input error, as [`run_chain`] would.
+pub fn run_batch(
+    network: &Network,
+    params: &NetworkParams,
+    inputs: &[Tensor3],
+    options: InferenceOptions,
+) -> Result<Vec<InferenceTrace>, InferenceError> {
+    LayerGraph::from_network(network).run_batch(params, inputs, options)
 }
 
 #[cfg(test)]

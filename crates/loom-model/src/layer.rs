@@ -228,10 +228,14 @@ pub struct PoolSpec {
     pub window: usize,
     /// Stride.
     pub stride: usize,
+    /// Zero padding (same on all sides). Padded positions never win the max
+    /// (they are skipped, not treated as zeros), matching the padded pooling
+    /// layers of GoogLeNet's inception modules.
+    pub padding: usize,
 }
 
 impl PoolSpec {
-    /// Creates a pooling spec.
+    /// Creates an unpadded pooling spec.
     pub fn new(
         channels: usize,
         in_height: usize,
@@ -245,24 +249,59 @@ impl PoolSpec {
             in_width,
             window,
             stride,
+            padding: 0,
         }
+    }
+
+    /// Sets the padding. The inception modules pool with a 3×3 window at
+    /// stride 1 and padding 1, which preserves the spatial size so the branch
+    /// can be concatenated with the convolutional branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `padding >= window` (a window could then cover padding only,
+    /// leaving its output undefined).
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        assert!(
+            padding < self.window,
+            "pool padding must be smaller than the window"
+        );
+        self.padding = padding;
+        self
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the padding is not smaller than the window (a
+    /// window could then cover padding only, leaving its output undefined).
+    pub fn validate(&self) -> Result<(), LayerError> {
+        if self.padding >= self.window {
+            return Err(LayerError::new(
+                "pool padding must be smaller than the window",
+            ));
+        }
+        Ok(())
     }
 
     /// Output spatial height.
     pub fn out_height(&self) -> usize {
-        if self.in_height < self.window {
+        let padded = self.in_height + 2 * self.padding;
+        if padded < self.window {
             1
         } else {
-            (self.in_height - self.window) / self.stride + 1
+            (padded - self.window) / self.stride + 1
         }
     }
 
     /// Output spatial width.
     pub fn out_width(&self) -> usize {
-        if self.in_width < self.window {
+        let padded = self.in_width + 2 * self.padding;
+        if padded < self.window {
             1
         } else {
-            (self.in_width - self.window) / self.stride + 1
+            (padded - self.window) / self.stride + 1
         }
     }
 
@@ -457,6 +496,32 @@ mod tests {
         assert_eq!(p.out_height(), 27);
         assert_eq!(p.out_width(), 27);
         assert_eq!(p.output_shape().len(), 96 * 27 * 27);
+    }
+
+    #[test]
+    fn padded_pool_output_dims() {
+        // GoogLeNet stem: 3x3 stride-2 pad-1 pooling halves 112 -> 56.
+        let p = PoolSpec::new(64, 112, 112, 3, 2).with_padding(1);
+        assert_eq!((p.out_height(), p.out_width()), (56, 56));
+        // Inception pool branch: 3x3 stride-1 pad-1 preserves the size.
+        let p = PoolSpec::new(192, 28, 28, 3, 1).with_padding(1);
+        assert_eq!((p.out_height(), p.out_width()), (28, 28));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool padding")]
+    fn pool_padding_must_be_smaller_than_window() {
+        let _ = PoolSpec::new(4, 8, 8, 2, 2).with_padding(2);
+    }
+
+    #[test]
+    fn pool_validate_catches_field_level_overpadding() {
+        // The builder asserts, but the fields are public; validate() is the
+        // net that Network::new and GraphBuilder::build use.
+        let mut p = PoolSpec::new(4, 8, 8, 2, 2);
+        assert!(p.validate().is_ok());
+        p.padding = 2;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! * [`reference`](mod@reference) / [`im2col`] — golden integer implementations of
 //!   convolution, fully-connected, pooling and ReLU layers.
 //! * [`quant`] — linear quantization and inter-layer re-quantization.
+//! * [`graph`] — explicit layer DAGs with branch/concat nodes, topological
+//!   scheduling, and per-edge tensor buffers.
 //! * [`synthetic`] — synthetic weight/activation generators calibrated to the
 //!   paper's precision profiles (the ImageNet-trained originals are not
 //!   available; see `DESIGN.md` for the substitution).
-//! * [`inference`] — quantized forward inference over linear layer chains.
+//! * [`inference`] — quantized forward inference (single inputs and batches)
+//!   over chains and layer graphs.
 //! * [`zoo`] — descriptors of the six evaluated networks (NiN, AlexNet,
 //!   GoogLeNet, VGG-S, VGG-M, VGG-19).
 //!
@@ -35,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fixed;
+pub mod graph;
 pub mod im2col;
 pub mod inference;
 pub mod layer;
@@ -46,5 +50,6 @@ pub mod tensor;
 pub mod zoo;
 
 pub use fixed::Precision;
+pub use graph::{GraphBuilder, LayerGraph};
 pub use layer::{ConvSpec, FcSpec, Layer, LayerKind, PoolSpec};
 pub use network::{Network, NetworkBuilder};

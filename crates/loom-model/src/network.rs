@@ -40,7 +40,7 @@ impl Network {
             match &layer.kind {
                 LayerKind::Conv(c) => c.validate()?,
                 LayerKind::FullyConnected(f) => f.validate()?,
-                LayerKind::MaxPool(_) => {}
+                LayerKind::MaxPool(p) => p.validate()?,
             }
         }
         Ok(Network {

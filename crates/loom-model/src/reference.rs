@@ -81,7 +81,8 @@ pub fn fc_forward(spec: &FcSpec, input: &[i32], weights: &[i32]) -> Vec<i64> {
     output
 }
 
-/// Computes a max-pooling layer.
+/// Computes a max-pooling layer. Positions introduced by padding are skipped
+/// (never treated as zeros), so every output is the max of real inputs only.
 ///
 /// # Panics
 ///
@@ -97,10 +98,14 @@ pub fn max_pool_forward(spec: &PoolSpec, input: &Tensor3) -> Tensor3 {
                 let mut best = i32::MIN;
                 for wy in 0..spec.window {
                     for wx in 0..spec.window {
-                        let iy = oy * spec.stride + wy;
-                        let ix = ox * spec.stride + wx;
-                        if iy < spec.in_height && ix < spec.in_width {
-                            best = best.max(input.get(c, iy, ix));
+                        let iy = (oy * spec.stride + wy) as isize - spec.padding as isize;
+                        let ix = (ox * spec.stride + wx) as isize - spec.padding as isize;
+                        if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < spec.in_height
+                            && (ix as usize) < spec.in_width
+                        {
+                            best = best.max(input.get(c, iy as usize, ix as usize));
                         }
                     }
                 }
@@ -212,6 +217,17 @@ mod tests {
         let input = Tensor3::from_vec(Shape3::new(1, 4, 4), (0..16).collect()).unwrap();
         let out = max_pool_forward(&spec, &input);
         assert_eq!(out.as_slice(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn padded_max_pool_skips_padding() {
+        // 3x3 stride-1 pad-1 pooling on an all-negative input: padding must
+        // never win the max, so every output stays negative.
+        let spec = PoolSpec::new(1, 3, 3, 3, 1).with_padding(1);
+        let input = Tensor3::from_vec(Shape3::new(1, 3, 3), vec![-9; 9]).unwrap();
+        let out = max_pool_forward(&spec, &input);
+        assert_eq!((spec.out_height(), spec.out_width()), (3, 3));
+        assert!(out.as_slice().iter().all(|&v| v == -9));
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! Executable [`LayerGraph`] forms of the zoo networks.
+//!
+//! The descriptors in the parent module are linear layer *lists* — the shape
+//! the cycle/energy models and the paper's Table 1 profile mapping need. This
+//! module provides the forms the DAG executor and the functional Loom engine
+//! actually *run*:
+//!
+//! - [`by_name`] / the per-network builders return full-scale graphs. The
+//!   linear networks lift unchanged via [`LayerGraph::from_network`];
+//!   [`googlenet`] is rebuilt with its real branching topology — every
+//!   inception module has the four parallel branches (1×1, 3×3 with reduce,
+//!   5×5 with reduce, padded-pool + projection) and a channel concat, rather
+//!   than the aggregate "equivalent convolution" the cycle models use.
+//! - [`reduced_by_name`] returns topology-preserving *reduced* variants
+//!   (`Mini*`, [`REDUCED_NAMES`]) — the same layer structure (grouped
+//!   convolutions, 1×1 cccp stacks, inception branches and concats, FC heads)
+//!   at a fraction of the MACs, so golden-vs-functional validation stays
+//!   affordable even in debug builds and on the bit-serial kernel.
+//!
+//! Pooling layers here use explicit padding where the original networks do
+//! (GoogLeNet's stem and inception pools). The linear descriptors in the
+//! parent module are unchanged for GoogLeNet — the cycle models keep the
+//! aggregate equivalent-convolution form and its Table 1 mapping — while
+//! VGG-S's `pool5` gained the padding its `fc6` input size always assumed
+//! (reproducing the original's ceil-mode 17→6 pooling), since the unpadded
+//! floor form could never have chained shape-to-shape.
+//!
+//! To add a zoo network to the functional suite: write a builder here (via
+//! [`LayerGraph::from_network`] for chains, [`GraphBuilder`] for DAGs),
+//! register its name in [`by_name`], and — if full scale is too slow to
+//! validate routinely — add a `Mini*` variant to [`reduced_by_name`] and
+//! [`REDUCED_NAMES`]. `docs/FUNCTIONAL.md` walks through the whole recipe.
+
+use crate::graph::{GraphBuilder, LayerGraph, GRAPH_INPUT};
+use crate::layer::{ConvSpec, FcSpec, PoolSpec};
+use crate::network::NetworkBuilder;
+
+fn conv1x1(in_c: usize, size: usize, out_c: usize) -> ConvSpec {
+    ConvSpec::simple(in_c, size, size, out_c, 1)
+}
+
+fn conv_padded(in_c: usize, size: usize, out_c: usize, kernel: usize) -> ConvSpec {
+    ConvSpec {
+        padding: kernel / 2,
+        ..ConvSpec::simple(in_c, size, size, out_c, kernel)
+    }
+}
+
+/// Appends one inception module (Szegedy et al., 2015, Figure 2b): four
+/// parallel branches over `source`, concatenated along channels under the
+/// module's name. `size` is the spatial size, `n*` the branch widths.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    builder: GraphBuilder,
+    name: &str,
+    source: &str,
+    in_c: usize,
+    size: usize,
+    n1: usize,
+    n3r: usize,
+    n3: usize,
+    n5r: usize,
+    n5: usize,
+    pp: usize,
+) -> GraphBuilder {
+    let b1 = format!("{name}/1x1");
+    let b3r = format!("{name}/3x3_reduce");
+    let b3 = format!("{name}/3x3");
+    let b5r = format!("{name}/5x5_reduce");
+    let b5 = format!("{name}/5x5");
+    let bp = format!("{name}/pool");
+    let bpp = format!("{name}/pool_proj");
+    builder
+        .conv(&b1, source, conv1x1(in_c, size, n1))
+        .conv(&b3r, source, conv1x1(in_c, size, n3r))
+        .conv(&b3, &b3r, conv_padded(n3r, size, n3, 3))
+        .conv(&b5r, source, conv1x1(in_c, size, n5r))
+        .conv(&b5, &b5r, conv_padded(n5r, size, n5, 5))
+        .max_pool(
+            &bp,
+            source,
+            PoolSpec::new(in_c, size, size, 3, 1).with_padding(1),
+        )
+        .conv(&bpp, &bp, conv1x1(in_c, size, pp))
+        .concat(name, &[&b1, &b3, &b5, &bpp])
+}
+
+/// Full-scale branching GoogLeNet (224×224×3 input): the real stem
+/// (7×7/2 conv, padded 3×3/2 pools, 1×1 reduce, 3×3 conv) and all nine
+/// inception modules with their four branches and channel concats, ending in
+/// the 7×7 global pool and the 1024→1000 classifier.
+pub fn googlenet() -> LayerGraph {
+    let mut b = GraphBuilder::new("GoogLeNet")
+        .conv(
+            "conv1",
+            GRAPH_INPUT,
+            ConvSpec {
+                in_channels: 3,
+                in_height: 224,
+                in_width: 224,
+                filters: 64,
+                kernel_h: 7,
+                kernel_w: 7,
+                stride: 2,
+                padding: 3,
+                groups: 1,
+            },
+        )
+        .max_pool(
+            "pool1",
+            "conv1",
+            PoolSpec::new(64, 112, 112, 3, 2).with_padding(1),
+        )
+        .conv("conv2_reduce", "pool1", conv1x1(64, 56, 64))
+        .conv("conv2", "conv2_reduce", conv_padded(64, 56, 192, 3))
+        .max_pool(
+            "pool2",
+            "conv2",
+            PoolSpec::new(192, 56, 56, 3, 2).with_padding(1),
+        );
+    // (name, input channels, spatial, n1, n3r, n3, n5r, n5, pool_proj).
+    b = inception(b, "inception_3a", "pool2", 192, 28, 64, 96, 128, 16, 32, 32);
+    b = inception(
+        b,
+        "inception_3b",
+        "inception_3a",
+        256,
+        28,
+        128,
+        128,
+        192,
+        32,
+        96,
+        64,
+    );
+    let b = b.max_pool(
+        "pool3",
+        "inception_3b",
+        PoolSpec::new(480, 28, 28, 3, 2).with_padding(1),
+    );
+    let mut b = inception(
+        b,
+        "inception_4a",
+        "pool3",
+        480,
+        14,
+        192,
+        96,
+        208,
+        16,
+        48,
+        64,
+    );
+    b = inception(
+        b,
+        "inception_4b",
+        "inception_4a",
+        512,
+        14,
+        160,
+        112,
+        224,
+        24,
+        64,
+        64,
+    );
+    b = inception(
+        b,
+        "inception_4c",
+        "inception_4b",
+        512,
+        14,
+        128,
+        128,
+        256,
+        24,
+        64,
+        64,
+    );
+    b = inception(
+        b,
+        "inception_4d",
+        "inception_4c",
+        512,
+        14,
+        112,
+        144,
+        288,
+        32,
+        64,
+        64,
+    );
+    b = inception(
+        b,
+        "inception_4e",
+        "inception_4d",
+        528,
+        14,
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+    );
+    let b = b.max_pool(
+        "pool4",
+        "inception_4e",
+        PoolSpec::new(832, 14, 14, 3, 2).with_padding(1),
+    );
+    let mut b = inception(
+        b,
+        "inception_5a",
+        "pool4",
+        832,
+        7,
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+    );
+    b = inception(
+        b,
+        "inception_5b",
+        "inception_5a",
+        832,
+        7,
+        384,
+        192,
+        384,
+        48,
+        128,
+        128,
+    );
+    b.max_pool(
+        "global_pool",
+        "inception_5b",
+        PoolSpec::new(1024, 7, 7, 7, 1),
+    )
+    .fully_connected("fc", "global_pool", FcSpec::new(1024, 1000))
+    .build()
+    .expect("branching GoogLeNet graph is valid")
+}
+
+/// Full-scale AlexNet as a (linear) graph.
+pub fn alexnet() -> LayerGraph {
+    LayerGraph::from_network(&super::alexnet())
+}
+
+/// Full-scale NiN as a (linear) graph.
+pub fn nin() -> LayerGraph {
+    LayerGraph::from_network(&super::nin())
+}
+
+/// Full-scale VGG-S as a (linear) graph.
+pub fn vgg_s() -> LayerGraph {
+    LayerGraph::from_network(&super::vgg_s())
+}
+
+/// Full-scale VGG-M as a (linear) graph.
+pub fn vgg_m() -> LayerGraph {
+    LayerGraph::from_network(&super::vgg_m())
+}
+
+/// Full-scale VGG-19 as a (linear) graph.
+pub fn vgg19() -> LayerGraph {
+    LayerGraph::from_network(&super::vgg19())
+}
+
+/// Returns the executable graph of a zoo network by (case-insensitive) name,
+/// with the same aliases as [`super::by_name`]. GoogLeNet resolves to its
+/// branching form.
+pub fn by_name(name: &str) -> Option<LayerGraph> {
+    match name.to_ascii_lowercase().as_str() {
+        "nin" => Some(nin()),
+        "alexnet" => Some(alexnet()),
+        "googlenet" | "google" => Some(googlenet()),
+        "vggs" | "vgg-s" => Some(vgg_s()),
+        "vggm" | "vgg-m" => Some(vgg_m()),
+        "vgg19" | "vgg-19" => Some(vgg19()),
+        _ => None,
+    }
+}
+
+/// Names of the reduced validation networks, in suite order.
+pub const REDUCED_NAMES: [&str; 4] = ["MiniAlexNet", "MiniNiN", "MiniVGG", "MiniGoogLeNet"];
+
+/// Reduced AlexNet (49×49×3 input): 5 convolutions with the original grouped
+/// conv2/conv4/conv5, three 3×3/2 pools, and the three-layer FC head.
+pub fn reduced_alexnet() -> LayerGraph {
+    let grouped = |in_c, size, out_c| ConvSpec {
+        groups: 2,
+        padding: 1,
+        ..ConvSpec::simple(in_c, size, size, out_c, 3)
+    };
+    LayerGraph::from_network(
+        &NetworkBuilder::new("MiniAlexNet")
+            .conv(
+                "conv1",
+                ConvSpec {
+                    stride: 2,
+                    ..ConvSpec::simple(3, 49, 49, 16, 5)
+                },
+            )
+            .max_pool("pool1", PoolSpec::new(16, 23, 23, 3, 2))
+            .conv("conv2", grouped(16, 11, 32))
+            .max_pool("pool2", PoolSpec::new(32, 11, 11, 3, 2))
+            .conv("conv3", conv_padded(32, 5, 48, 3))
+            .conv("conv4", grouped(48, 5, 48))
+            .conv("conv5", grouped(48, 5, 32))
+            .max_pool("pool5", PoolSpec::new(32, 5, 5, 3, 2))
+            .fully_connected("fc6", FcSpec::new(32 * 2 * 2, 64))
+            .fully_connected("fc7", FcSpec::new(64, 64))
+            .fully_connected("fc8", FcSpec::new(64, 10))
+            .build()
+            .expect("MiniAlexNet geometry is valid"),
+    )
+}
+
+/// Reduced NiN (49×49×3 input): four blocks of a spatial convolution followed
+/// by two 1×1 cccp convolutions, no FC layers — 12 convolutions like the
+/// original.
+pub fn reduced_nin() -> LayerGraph {
+    LayerGraph::from_network(
+        &NetworkBuilder::new("MiniNiN")
+            .conv(
+                "conv1",
+                ConvSpec {
+                    stride: 2,
+                    ..ConvSpec::simple(3, 49, 49, 16, 5)
+                },
+            )
+            .conv("cccp1", conv1x1(16, 23, 16))
+            .conv("cccp2", conv1x1(16, 23, 16))
+            .max_pool("pool1", PoolSpec::new(16, 23, 23, 2, 2))
+            .conv("conv2", conv_padded(16, 11, 32, 3))
+            .conv("cccp3", conv1x1(32, 11, 32))
+            .conv("cccp4", conv1x1(32, 11, 32))
+            .max_pool("pool2", PoolSpec::new(32, 11, 11, 3, 2))
+            .conv("conv3", conv_padded(32, 5, 48, 3))
+            .conv("cccp5", conv1x1(48, 5, 48))
+            .conv("cccp6", conv1x1(48, 5, 48))
+            .max_pool("pool3", PoolSpec::new(48, 5, 5, 3, 2))
+            .conv("conv4", conv_padded(48, 2, 64, 3))
+            .conv("cccp7", conv1x1(64, 2, 64))
+            .conv("cccp8", conv1x1(64, 2, 10))
+            .build()
+            .expect("MiniNiN geometry is valid"),
+    )
+}
+
+/// Reduced VGG (49×49×3 input, VGG-S-shaped): a strided stem, a 3×3 stack,
+/// 2×2 pools, and the three-layer FC head.
+pub fn reduced_vgg() -> LayerGraph {
+    LayerGraph::from_network(
+        &NetworkBuilder::new("MiniVGG")
+            .conv(
+                "conv1",
+                ConvSpec {
+                    stride: 2,
+                    ..ConvSpec::simple(3, 49, 49, 16, 5)
+                },
+            )
+            .max_pool("pool1", PoolSpec::new(16, 23, 23, 3, 2))
+            .conv("conv2", conv_padded(16, 11, 32, 3))
+            .max_pool("pool2", PoolSpec::new(32, 11, 11, 2, 2))
+            .conv("conv3", conv_padded(32, 5, 48, 3))
+            .conv("conv4", conv_padded(48, 5, 48, 3))
+            .conv("conv5", conv_padded(48, 5, 32, 3))
+            .max_pool("pool5", PoolSpec::new(32, 5, 5, 2, 2))
+            .fully_connected("fc6", FcSpec::new(32 * 2 * 2, 64))
+            .fully_connected("fc7", FcSpec::new(64, 64))
+            .fully_connected("fc8", FcSpec::new(64, 10))
+            .build()
+            .expect("MiniVGG geometry is valid"),
+    )
+}
+
+/// Reduced branching GoogLeNet (33×33×3 input): the real stem shape (strided
+/// conv, padded pools, 1×1 reduce) and three full inception modules across
+/// two spatial scales, ending in a global pool and FC classifier.
+pub fn reduced_googlenet() -> LayerGraph {
+    let b = GraphBuilder::new("MiniGoogLeNet")
+        .conv(
+            "conv1",
+            GRAPH_INPUT,
+            ConvSpec {
+                stride: 2,
+                padding: 2,
+                ..ConvSpec::simple(3, 33, 33, 16, 5)
+            },
+        )
+        .max_pool(
+            "pool1",
+            "conv1",
+            PoolSpec::new(16, 17, 17, 3, 2).with_padding(1),
+        )
+        .conv("conv2_reduce", "pool1", conv1x1(16, 9, 16))
+        .conv("conv2", "conv2_reduce", conv_padded(16, 9, 32, 3))
+        .max_pool(
+            "pool2",
+            "conv2",
+            PoolSpec::new(32, 9, 9, 3, 2).with_padding(1),
+        );
+    let b = inception(b, "inception_3a", "pool2", 32, 5, 16, 12, 16, 4, 8, 8);
+    let b = inception(
+        b,
+        "inception_3b",
+        "inception_3a",
+        48,
+        5,
+        16,
+        16,
+        24,
+        4,
+        8,
+        8,
+    );
+    let b = b.max_pool(
+        "pool3",
+        "inception_3b",
+        PoolSpec::new(56, 5, 5, 3, 2).with_padding(1),
+    );
+    let b = inception(b, "inception_4a", "pool3", 56, 3, 24, 16, 28, 6, 12, 8);
+    b.max_pool("global_pool", "inception_4a", PoolSpec::new(72, 3, 3, 3, 1))
+        .fully_connected("fc", "global_pool", FcSpec::new(72, 10))
+        .build()
+        .expect("MiniGoogLeNet graph is valid")
+}
+
+/// Returns a reduced validation network by (case-insensitive) name; see
+/// [`REDUCED_NAMES`].
+pub fn reduced_by_name(name: &str) -> Option<LayerGraph> {
+    match name.to_ascii_lowercase().as_str() {
+        "minialexnet" => Some(reduced_alexnet()),
+        "mininin" => Some(reduced_nin()),
+        "minivgg" => Some(reduced_vgg()),
+        "minigooglenet" => Some(reduced_googlenet()),
+        _ => None,
+    }
+}
+
+/// All four reduced validation networks, in suite order.
+pub fn reduced_all() -> Vec<LayerGraph> {
+    REDUCED_NAMES
+        .iter()
+        .map(|n| reduced_by_name(n).expect("canonical reduced names always resolve"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branching_googlenet_has_real_inception_structure() {
+        let g = googlenet();
+        // 9 inception concats; 3 stem convs + 9 x 6 branch convs + no more.
+        assert_eq!(g.concat_nodes().count(), 9);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n.op,
+                    crate::graph::NodeOp::Layer(crate::layer::LayerKind::Conv(_))
+                )
+            })
+            .count();
+        assert_eq!(convs, 3 + 9 * 6);
+        // Real GoogLeNet is ~1.6 GMACs; the branching graph must land nearby
+        // (the linear zoo descriptor only approximates this with equivalent
+        // convolutions).
+        let gmacs = g.total_macs() as f64 / 1e9;
+        assert!((1.2..2.2).contains(&gmacs), "got {gmacs}");
+        assert_eq!(g.output_node().name, "fc");
+    }
+
+    #[test]
+    fn full_scale_graphs_resolve_by_name() {
+        for name in super::super::NETWORK_NAMES {
+            let g = by_name(name).unwrap();
+            assert!(g.total_macs() > 0, "{name}");
+        }
+        assert!(by_name("resnet50").is_none());
+        // Linear networks keep their MAC totals through the lift.
+        assert_eq!(alexnet().total_macs(), super::super::alexnet().total_macs());
+        assert_eq!(vgg19().total_macs(), super::super::vgg19().total_macs());
+        assert_eq!(vgg_m().total_macs(), super::super::vgg_m().total_macs());
+    }
+
+    #[test]
+    fn reduced_networks_preserve_topology_markers() {
+        let nets = reduced_all();
+        assert_eq!(nets.len(), 4);
+        for (net, name) in nets.iter().zip(REDUCED_NAMES) {
+            assert_eq!(net.name(), name);
+            // Affordable even in debug builds.
+            assert!(net.total_macs() < 5_000_000, "{name}: {}", net.total_macs());
+        }
+        // MiniAlexNet keeps grouped convolutions.
+        let mini_alex = reduced_alexnet();
+        let grouped = mini_alex
+            .compute_layers()
+            .filter(|(_, k)| matches!(k, crate::layer::LayerKind::Conv(c) if c.groups > 1));
+        assert_eq!(grouped.count(), 3);
+        // MiniNiN: 12 convolutions, no FC, like the original.
+        let mini_nin = reduced_nin();
+        assert_eq!(mini_nin.compute_layers().count(), 12);
+        // MiniGoogLeNet branches and concatenates.
+        let mini_goog = reduced_googlenet();
+        assert_eq!(mini_goog.concat_nodes().count(), 3);
+        assert!(reduced_by_name("minigooglenet").is_some());
+        assert!(reduced_by_name("lenet").is_none());
+    }
+}

@@ -15,6 +15,7 @@
 
 mod alexnet;
 mod googlenet;
+pub mod graphs;
 mod nin;
 mod vgg;
 

@@ -101,7 +101,9 @@ pub fn vgg_s() -> Network {
         .conv("conv3", conv3(256, 17, 512))
         .conv("conv4", conv3(512, 17, 512))
         .conv("conv5", conv3(512, 17, 512))
-        .max_pool("pool5", PoolSpec::new(512, 17, 17, 3, 3))
+        // Padding reproduces the original's ceil-mode 17 -> 6 pooling (the
+        // unpadded floor form would produce 5x5 and contradict fc6's input).
+        .max_pool("pool5", PoolSpec::new(512, 17, 17, 3, 3).with_padding(1))
         .fully_connected("fc6", FcSpec::new(512 * 6 * 6, 4096))
         .fully_connected("fc7", FcSpec::new(4096, 4096))
         .fully_connected("fc8", FcSpec::new(4096, 1000))

@@ -20,6 +20,7 @@
 
 use crate::config::LoomGeometry;
 use crate::loom::packed::{packed_inner_product, BitplaneBlock, MagnitudeOr};
+use crate::loom::parallel;
 use crate::loom::sip::serial_inner_product;
 use loom_model::fixed::Precision;
 use loom_model::im2col::{window_patch, WindowPatch};
@@ -62,17 +63,37 @@ pub struct FunctionalLoom {
     pub dynamic_precision: bool,
     /// Which SIP kernel evaluates the inner products.
     pub kernel: SipKernel,
+    /// Worker threads convolutional window groups are fanned across.
+    threads: usize,
 }
 
 impl FunctionalLoom {
     /// Creates an engine with the given geometry, dynamic precision detection
-    /// enabled (the paper's default), and the packed SIP kernel.
+    /// enabled (the paper's default), the packed SIP kernel, and one worker
+    /// thread.
     pub fn new(geometry: LoomGeometry) -> Self {
         FunctionalLoom {
             geometry,
             dynamic_precision: true,
             kernel: SipKernel::default(),
+            threads: 1,
         }
+    }
+
+    /// Fans each convolution's window groups across `threads` scoped workers
+    /// (clamped to at least 1). Results are bit-identical at any thread
+    /// count: window groups write disjoint output ranges and the cycle and
+    /// reduced-group counters are merged in group order. Fully-connected
+    /// layers stay serial — the batched network engine parallelises across
+    /// batch items instead, which covers FCL-heavy networks.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads convolutional window groups are fanned across.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Disables runtime precision detection (profile precisions only).
@@ -137,10 +158,6 @@ impl FunctionalLoom {
         let wpf = spec.weights_per_filter();
         let chunks = wpf.div_ceil(lanes);
 
-        let mut outputs = vec![0i64; spec.filters * windows];
-        let mut cycles = 0u64;
-        let mut reduced_groups = 0u64;
-
         let packed_kernel = self.kernel == SipKernel::Packed;
         // The precision detector reads packed activation planes even on the
         // bit-serial kernel, so both kernels detect identically.
@@ -168,99 +185,48 @@ impl FunctionalLoom {
             Vec::new()
         };
 
-        // Window groups along the columns, filter groups along the rows.
-        for window_base in (0..windows).step_by(cols) {
-            let window_count = cols.min(windows - window_base);
-            // Extract each window's patch once per (window, filter group) —
-            // every filter of a group reads the same channel slice, so the
-            // extraction must not sit in the filter loop.
-            let patches: Vec<Vec<WindowPatch>> = (0..window_count)
-                .map(|i| {
-                    let w = window_base + i;
-                    let (oy, ox) = (w / out_w, w % out_w);
-                    (0..spec.groups)
-                        .map(|g| window_patch(spec, input, oy, ox, g * group_in, group_in))
-                        .collect()
-                })
-                .collect();
+        // Window groups along the columns, filter groups along the rows. Each
+        // group is an independent job: it owns a disjoint slice of the output
+        // windows, so the groups fan across the worker pool and merge into
+        // the final layout in group order — bit-identical at any thread
+        // count.
+        let ctx = ConvContext {
+            engine: self,
+            spec,
+            input,
+            weights,
+            pa,
+            pw,
+            activations_signed,
+            cols,
+            rows,
+            lanes,
+            b,
+            out_w,
+            windows,
+            group_in,
+            group_out,
+            wpf,
+            chunks,
+            packed_kernel,
+            packed_detection,
+            packed_filters,
+        };
+        let group_count = windows.div_ceil(cols);
+        let groups =
+            parallel::ordered_map(self.threads, group_count, |g| ctx.window_group(g * cols));
 
-            for chunk in 0..chunks {
-                let lane_base = chunk * lanes;
-                let lane_count = lanes.min(wpf - lane_base);
-                // Transpose this chunk of every (window, group) patch once;
-                // the blocks are reused by every filter of the group and by
-                // the precision detector below. Skipped when neither needs
-                // them (bit-serial kernel with detection off or grouped).
-                let packed_acts: Vec<Vec<BitplaneBlock>> = if packed_kernel || packed_detection {
-                    patches
-                        .iter()
-                        .map(|per_group| {
-                            per_group
-                                .iter()
-                                .map(|patch| {
-                                    BitplaneBlock::pack(&patch[lane_base..lane_base + lane_count])
-                                })
-                                .collect()
-                        })
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-
-                // Dynamic precision: detect over all activations this group of
-                // SIP columns consumes concurrently (up to cols × 16 values),
-                // as an OR fold over the already-packed planes. Grouped
-                // convolutions interleave channel ranges per filter group, so
-                // detection is skipped for them (a conservative
-                // simplification; AlexNet's grouped layers still benefit from
-                // their static profile precisions).
-                let effective_pa = if packed_detection {
-                    let mut fold = MagnitudeOr::new();
-                    for per_group in &packed_acts {
-                        fold.absorb(&per_group[0]);
-                    }
-                    let detected = fold.detected_precision(activations_signed).min(pa);
-                    if detected < pa {
-                        reduced_groups += 1;
-                    }
-                    detected
-                } else {
-                    pa
-                };
-
-                // The block occupies the SIP array for Pw × ceil(Pa / b) cycles
-                // regardless of how many filter rows exist, but covers at most
-                // `rows` filters at a time.
-                let filter_groups = spec.filters.div_ceil(rows) as u64;
-                cycles +=
-                    filter_groups * pw.bits_u64() * (u64::from(effective_pa.bits())).div_ceil(b);
-
-                // Compute the partial products this block contributes.
-                for k in 0..spec.filters {
-                    let group = k / group_out;
-                    for col in 0..window_count {
-                        let window = window_base + col;
-                        let dot = match self.kernel {
-                            SipKernel::Packed => packed_inner_product(
-                                &packed_filters[k][chunk],
-                                &packed_acts[col][group],
-                                pw,
-                                effective_pa,
-                                true,
-                                activations_signed,
-                            ),
-                            SipKernel::BitSerial => serial_inner_product(
-                                &weights.filter(k)[lane_base..lane_base + lane_count],
-                                &patches[col][group][lane_base..lane_base + lane_count],
-                                pw,
-                                effective_pa,
-                                true,
-                                activations_signed,
-                            ),
-                        };
-                        outputs[k * windows + window] += dot;
-                    }
-                }
+        let mut outputs = vec![0i64; spec.filters * windows];
+        let mut cycles = 0u64;
+        let mut reduced_groups = 0u64;
+        for group in groups {
+            cycles += group.cycles;
+            reduced_groups += group.reduced_groups;
+            for k in 0..spec.filters {
+                let dst = k * windows + group.window_base;
+                outputs[dst..dst + group.window_count].copy_from_slice(
+                    &group.outputs[k * group.window_count..][..group.window_count],
+                );
             }
         }
         FunctionalRun {
@@ -362,6 +328,160 @@ impl FunctionalLoom {
             outputs,
             cycles: steady + fill + reduction,
             reduced_groups: 0,
+        }
+    }
+}
+
+/// Everything a convolutional window-group job needs, shared read-only
+/// across the worker pool.
+struct ConvContext<'a> {
+    engine: &'a FunctionalLoom,
+    spec: &'a ConvSpec,
+    input: &'a Tensor3,
+    weights: &'a Tensor4,
+    pa: Precision,
+    pw: Precision,
+    activations_signed: bool,
+    cols: usize,
+    rows: usize,
+    lanes: usize,
+    b: u64,
+    out_w: usize,
+    windows: usize,
+    group_in: usize,
+    group_out: usize,
+    wpf: usize,
+    chunks: usize,
+    packed_kernel: bool,
+    packed_detection: bool,
+    /// Every filter's weight chunks, transposed once for the whole layer.
+    packed_filters: Vec<Vec<BitplaneBlock>>,
+}
+
+/// One window group's finished partial results: the outputs for its disjoint
+/// window range (filter-major, `filters x window_count`) plus its cycle and
+/// reduced-group contributions.
+struct WindowGroupRun {
+    window_base: usize,
+    window_count: usize,
+    outputs: Vec<i64>,
+    cycles: u64,
+    reduced_groups: u64,
+}
+
+impl ConvContext<'_> {
+    /// Runs the window group starting at `window_base` — the body of the
+    /// engine's original serial loop, writing into a group-local output
+    /// buffer instead of the layer-wide one.
+    fn window_group(&self, window_base: usize) -> WindowGroupRun {
+        let spec = self.spec;
+        let window_count = self.cols.min(self.windows - window_base);
+        let mut outputs = vec![0i64; spec.filters * window_count];
+        let mut cycles = 0u64;
+        let mut reduced_groups = 0u64;
+
+        // Extract each window's patch once per (window, filter group) —
+        // every filter of a group reads the same channel slice, so the
+        // extraction must not sit in the filter loop.
+        let patches: Vec<Vec<WindowPatch>> = (0..window_count)
+            .map(|i| {
+                let w = window_base + i;
+                let (oy, ox) = (w / self.out_w, w % self.out_w);
+                (0..spec.groups)
+                    .map(|g| {
+                        window_patch(spec, self.input, oy, ox, g * self.group_in, self.group_in)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for chunk in 0..self.chunks {
+            let lane_base = chunk * self.lanes;
+            let lane_count = self.lanes.min(self.wpf - lane_base);
+            // Transpose this chunk of every (window, group) patch once;
+            // the blocks are reused by every filter of the group and by
+            // the precision detector below. Skipped when neither needs
+            // them (bit-serial kernel with detection off or grouped).
+            let packed_acts: Vec<Vec<BitplaneBlock>> =
+                if self.packed_kernel || self.packed_detection {
+                    patches
+                        .iter()
+                        .map(|per_group| {
+                            per_group
+                                .iter()
+                                .map(|patch| {
+                                    BitplaneBlock::pack(&patch[lane_base..lane_base + lane_count])
+                                })
+                                .collect()
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+
+            // Dynamic precision: detect over all activations this group of
+            // SIP columns consumes concurrently (up to cols x 16 values),
+            // as an OR fold over the already-packed planes. Grouped
+            // convolutions interleave channel ranges per filter group, so
+            // detection is skipped for them (a conservative
+            // simplification; AlexNet's grouped layers still benefit from
+            // their static profile precisions).
+            let effective_pa = if self.packed_detection {
+                let mut fold = MagnitudeOr::new();
+                for per_group in &packed_acts {
+                    fold.absorb(&per_group[0]);
+                }
+                let detected = fold
+                    .detected_precision(self.activations_signed)
+                    .min(self.pa);
+                if detected < self.pa {
+                    reduced_groups += 1;
+                }
+                detected
+            } else {
+                self.pa
+            };
+
+            // The block occupies the SIP array for Pw x ceil(Pa / b) cycles
+            // regardless of how many filter rows exist, but covers at most
+            // `rows` filters at a time.
+            let filter_groups = spec.filters.div_ceil(self.rows) as u64;
+            cycles += filter_groups
+                * self.pw.bits_u64()
+                * (u64::from(effective_pa.bits())).div_ceil(self.b);
+
+            // Compute the partial products this block contributes.
+            for k in 0..spec.filters {
+                let group = k / self.group_out;
+                for col in 0..window_count {
+                    let dot = match self.engine.kernel {
+                        SipKernel::Packed => packed_inner_product(
+                            &self.packed_filters[k][chunk],
+                            &packed_acts[col][group],
+                            self.pw,
+                            effective_pa,
+                            true,
+                            self.activations_signed,
+                        ),
+                        SipKernel::BitSerial => serial_inner_product(
+                            &self.weights.filter(k)[lane_base..lane_base + lane_count],
+                            &patches[col][group][lane_base..lane_base + lane_count],
+                            self.pw,
+                            effective_pa,
+                            true,
+                            self.activations_signed,
+                        ),
+                    };
+                    outputs[k * window_count + col] += dot;
+                }
+            }
+        }
+        WindowGroupRun {
+            window_base,
+            window_count,
+            outputs,
+            cycles,
+            reduced_groups,
         }
     }
 }

@@ -1,13 +1,17 @@
 //! The Loom bit-serial engine: functional SIP model, the packed
-//! bitplane/popcount datapath, functional layer engine, and the analytic
-//! schedules for convolutional and fully-connected layers.
+//! bitplane/popcount datapath, the functional layer engine and its batched
+//! whole-network driver, and the analytic schedules for convolutional and
+//! fully-connected layers.
 
 pub mod functional;
+pub mod network;
 pub mod packed;
+pub(crate) mod parallel;
 pub mod schedule;
 pub mod sip;
 
 pub use functional::{FunctionalLoom, FunctionalRun, SipKernel};
+pub use network::{NetworkEngine, NetworkRun};
 pub use packed::{
     packed_inner_product, packed_inner_product_slices, BitplaneBlock, MagnitudeOr, MAX_LANES,
 };

@@ -1,0 +1,329 @@
+//! Whole-network, batched execution on the functional Loom engine.
+//!
+//! [`FunctionalLoom`] answers "does
+//! one layer compute the right numbers"; this module chains it over a whole
+//! [`LayerGraph`] — branches, concats, pooling, re-quantization and all — and
+//! batches inputs. The executor is *shared* with the golden model
+//! (`loom_model::graph`): [`NetworkEngine`] plugs the bit-serial datapath in
+//! as a [`GraphCompute`] backend, so scheduling, re-quantization, ReLU,
+//! pooling and concatenation are literally the same code on both paths and
+//! the traces must be bit-identical if (and only if) the inner products are.
+//!
+//! Parallelism follows the sweep runner's scoped-thread worker-queue pattern
+//! and is deterministic at any thread count: batches fan across items, and
+//! leftover threads fan each convolution's window groups.
+//!
+//! # Examples
+//!
+//! Run a batch of two inputs through a small network on two threads and check
+//! it against the golden model:
+//!
+//! ```
+//! use loom_model::inference::{InferenceOptions, NetworkParams};
+//! use loom_model::layer::{ConvSpec, FcSpec};
+//! use loom_model::network::NetworkBuilder;
+//! use loom_model::graph::LayerGraph;
+//! use loom_model::tensor::{Shape3, Tensor3};
+//! use loom_model::Precision;
+//! use loom_sim::config::LoomGeometry;
+//! use loom_sim::loom::NetworkEngine;
+//!
+//! let graph = LayerGraph::from_network(
+//!     &NetworkBuilder::new("tiny")
+//!         .conv("conv1", ConvSpec::simple(1, 6, 6, 2, 3))
+//!         .fully_connected("fc1", FcSpec::new(2 * 4 * 4, 4))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(4).unwrap()], 1);
+//! let geometry = LoomGeometry {
+//!     filter_rows: 4,
+//!     window_columns: 2,
+//!     sip_lanes: 4,
+//!     act_bits_per_cycle: 1,
+//! };
+//! let inputs = [
+//!     Tensor3::from_vec(Shape3::new(1, 6, 6), (0..36).collect()).unwrap(),
+//!     Tensor3::from_vec(Shape3::new(1, 6, 6), (36..72).collect()).unwrap(),
+//! ];
+//! let options = InferenceOptions::default();
+//!
+//! let engine = NetworkEngine::new(geometry).with_threads(2);
+//! let runs = engine.run_batch(&graph, &params, &inputs, options).unwrap();
+//! assert_eq!(runs.len(), 2);
+//! // Bit-identical to the golden model, layer by layer.
+//! let golden = graph.run_batch(&params, &inputs, options).unwrap();
+//! assert_eq!(runs[0].trace, golden[0]);
+//! assert_eq!(runs[1].trace, golden[1]);
+//! assert!(runs[0].cycles > 0);
+//! ```
+
+use crate::config::LoomGeometry;
+use crate::loom::functional::{FunctionalLoom, SipKernel};
+use crate::loom::parallel;
+use loom_model::fixed::required_precision;
+use loom_model::graph::{GraphCompute, LayerGraph};
+use loom_model::inference::{InferenceError, InferenceOptions, InferenceTrace, NetworkParams};
+use loom_model::layer::{ConvSpec, FcSpec};
+use loom_model::tensor::{Tensor3, Tensor4};
+
+/// Result of running a whole network through the functional engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkRun {
+    /// The full forward-pass trace, bit-identical to the golden model's
+    /// ([`LayerGraph::run`]) when the datapath is correct.
+    pub trace: InferenceTrace,
+    /// Total bit-serial cycles over all compute layers.
+    pub cycles: u64,
+    /// Total activation groups whose precision dynamic detection reduced.
+    pub reduced_groups: u64,
+}
+
+/// Batched, parallel functional execution of whole layer graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkEngine {
+    engine: FunctionalLoom,
+    threads: usize,
+}
+
+impl NetworkEngine {
+    /// Creates an engine with the given geometry, dynamic precision
+    /// detection enabled, the packed SIP kernel, and one worker thread.
+    pub fn new(geometry: LoomGeometry) -> Self {
+        NetworkEngine {
+            engine: FunctionalLoom::new(geometry),
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread budget (clamped to at least 1).
+    /// [`NetworkEngine::run_batch`] spends it on batch items first and gives
+    /// what is left over to each item's convolutional window groups;
+    /// [`NetworkEngine::run`] gives all of it to window groups. Results are
+    /// bit-identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the SIP kernel (packed by default).
+    pub fn with_kernel(mut self, kernel: SipKernel) -> Self {
+        self.engine = self.engine.with_kernel(kernel);
+        self
+    }
+
+    /// Disables runtime precision detection.
+    pub fn without_dynamic_precision(mut self) -> Self {
+        self.engine = self.engine.without_dynamic_precision();
+        self
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The per-layer engine this network engine drives.
+    pub fn layer_engine(&self) -> FunctionalLoom {
+        self.engine
+    }
+
+    /// Runs one input through the graph on the bit-serial datapath, with the
+    /// full thread budget fanned across each convolution's window groups.
+    ///
+    /// Per-layer precisions are taken from the data itself
+    /// ([`required_precision`] of the layer's input activations and weights),
+    /// so the run is self-contained and deterministic.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerGraph::run`]: shape mismatches, empty graphs, or malformed
+    /// concatenations.
+    pub fn run(
+        &self,
+        graph: &LayerGraph,
+        params: &NetworkParams,
+        input: &Tensor3,
+        options: InferenceOptions,
+    ) -> Result<NetworkRun, InferenceError> {
+        let mut backend = FunctionalCompute {
+            engine: self.engine.with_threads(self.threads),
+            cycles: 0,
+            reduced_groups: 0,
+        };
+        let trace = graph.run_with(params, input, options, &[], &mut backend)?;
+        Ok(NetworkRun {
+            trace,
+            cycles: backend.cycles,
+            reduced_groups: backend.reduced_groups,
+        })
+    }
+
+    /// Runs every input through the graph, fanning the batch across the
+    /// worker pool. Each item is an independent forward pass, so the results
+    /// are bit-identical to N calls of [`NetworkEngine::run`] — and to the
+    /// golden [`LayerGraph::run_batch`] — regardless of thread count.
+    ///
+    /// # Errors
+    ///
+    /// The first per-item error in batch order, as [`NetworkEngine::run`].
+    pub fn run_batch(
+        &self,
+        graph: &LayerGraph,
+        params: &NetworkParams,
+        inputs: &[Tensor3],
+        options: InferenceOptions,
+    ) -> Result<Vec<NetworkRun>, InferenceError> {
+        let item_workers = self.threads.min(inputs.len()).max(1);
+        // Threads not absorbed by batch items go to window groups: a batch of
+        // 2 on 8 threads runs 2 items x 4-way window parallelism.
+        let per_item = NetworkEngine {
+            engine: self.engine,
+            threads: (self.threads / item_workers).max(1),
+        };
+        parallel::ordered_map(item_workers, inputs.len(), |i| {
+            per_item.run(graph, params, &inputs[i], options)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// The functional Loom engine as a [`GraphCompute`] backend: bit-serial inner
+/// products plus cycle and reduced-group accounting.
+struct FunctionalCompute {
+    engine: FunctionalLoom,
+    cycles: u64,
+    reduced_groups: u64,
+}
+
+impl GraphCompute for FunctionalCompute {
+    fn conv(
+        &mut self,
+        _layer: &str,
+        spec: &ConvSpec,
+        input: &Tensor3,
+        weights: &Tensor4,
+    ) -> Vec<i64> {
+        let pa = required_precision(input.as_slice());
+        let pw = required_precision(weights.as_slice());
+        let run = self.engine.run_conv(spec, input, weights, pa, pw);
+        self.cycles += run.cycles;
+        self.reduced_groups += run.reduced_groups;
+        run.outputs
+    }
+
+    fn fc(&mut self, _layer: &str, spec: &FcSpec, input: &[i32], weights: &[i32]) -> Vec<i64> {
+        let pw = required_precision(weights);
+        let run = self.engine.run_fc(spec, input, weights, pw);
+        self.cycles += run.cycles;
+        self.reduced_groups += run.reduced_groups;
+        run.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_model::graph::{GraphBuilder, GRAPH_INPUT};
+    use loom_model::layer::PoolSpec;
+    use loom_model::synthetic::{synthetic_activations, ValueDistribution};
+    use loom_model::tensor::Shape3;
+    use loom_model::Precision;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometry() -> LoomGeometry {
+        LoomGeometry {
+            filter_rows: 8,
+            window_columns: 4,
+            sip_lanes: 8,
+            act_bits_per_cycle: 1,
+        }
+    }
+
+    fn branching_graph() -> LayerGraph {
+        let b3 = ConvSpec {
+            padding: 1,
+            ..ConvSpec::simple(4, 6, 6, 3, 3)
+        };
+        GraphBuilder::new("fork")
+            .conv("stem", GRAPH_INPUT, ConvSpec::simple(2, 8, 8, 4, 3))
+            .conv("b1", "stem", ConvSpec::simple(4, 6, 6, 2, 1))
+            .conv("b3", "stem", b3)
+            .max_pool("bp", "stem", PoolSpec::new(4, 6, 6, 3, 1).with_padding(1))
+            .concat("merge", &["b1", "b3", "bp"])
+            .fully_connected("fc", "merge", FcSpec::new((2 + 3 + 4) * 36, 6))
+            .build()
+            .unwrap()
+    }
+
+    fn inputs(n: usize) -> Vec<Tensor3> {
+        (0..n)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(100 + i as u64);
+                Tensor3::from_vec(
+                    Shape3::new(2, 8, 8),
+                    synthetic_activations(
+                        &mut rng,
+                        2 * 8 * 8,
+                        Precision::new(8).unwrap(),
+                        ValueDistribution::activations(),
+                    ),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn branching_network_matches_golden_model() {
+        let graph = branching_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+        let options = InferenceOptions::default();
+        let input = &inputs(1)[0];
+        let golden = graph.run(&params, input, options).unwrap();
+        let run = NetworkEngine::new(geometry())
+            .run(&graph, &params, input, options)
+            .unwrap();
+        assert_eq!(run.trace, golden);
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn batch_and_thread_counts_do_not_change_results() {
+        let graph = branching_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+        let options = InferenceOptions::default();
+        let batch = inputs(3);
+        let serial = NetworkEngine::new(geometry())
+            .run_batch(&graph, &params, &batch, options)
+            .unwrap();
+        // Batch of N equals N runs of batch 1.
+        for (i, input) in batch.iter().enumerate() {
+            let single = NetworkEngine::new(geometry())
+                .run(&graph, &params, input, options)
+                .unwrap();
+            assert_eq!(serial[i], single);
+        }
+        // ... at every thread count.
+        for threads in [2, 8] {
+            let parallel = NetworkEngine::new(geometry())
+                .with_threads(threads)
+                .run_batch(&graph, &params, &batch, options)
+                .unwrap();
+            assert_eq!(parallel, serial);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_the_executor() {
+        let graph = branching_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+        let bad_input = Tensor3::zeros(Shape3::new(1, 4, 4));
+        let err = NetworkEngine::new(geometry())
+            .run(&graph, &params, &bad_input, InferenceOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, InferenceError::ShapeMismatch { .. }));
+    }
+}

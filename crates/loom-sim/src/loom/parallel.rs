@@ -1,0 +1,58 @@
+//! Scoped-thread worker queue for the functional engine, mirroring the
+//! sweep runner's pattern (`loom_core::sweep::SweepRunner::parallel_map`):
+//! workers pull job indices from a shared atomic counter and write results
+//! into per-job slots, so the output order — and therefore every merged
+//! result — is deterministic regardless of thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..jobs)` across `threads` scoped workers and returns the results
+/// in job order. With one thread (or at most one job) the jobs run inline, in
+/// order — the serial and parallel paths are the same code.
+pub(crate) fn ordered_map<R, F>(threads: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job slot filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_is_order_preserving_and_thread_invariant() {
+        let serial = ordered_map(1, 40, |i| i * i);
+        for threads in [2, 4, 8] {
+            assert_eq!(ordered_map(threads, 40, |i| i * i), serial);
+        }
+        assert_eq!(serial, (0..40).map(|i| i * i).collect::<Vec<_>>());
+        assert!(ordered_map(4, 0, |i| i).is_empty());
+    }
+}

@@ -164,6 +164,52 @@ pub fn conv_kernels_agree(
     packed == serial
 }
 
+/// Outcome of validating a whole network: the batched functional engine
+/// against the golden graph executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkValidation {
+    /// Whether every batch item's functional trace is bit-identical to the
+    /// golden model's.
+    pub traces_match: bool,
+    /// Number of layer nodes each trace covers.
+    pub layers: usize,
+    /// Total bit-serial cycles over the batch.
+    pub cycles: u64,
+    /// Total dynamically reduced activation groups over the batch.
+    pub reduced_groups: u64,
+}
+
+/// Validates a whole network end to end: runs `inputs` through the golden
+/// graph executor and through the batched functional engine
+/// ([`crate::loom::NetworkEngine`] with `threads` workers), and compares the
+/// traces bit-for-bit — every layer's inputs, accumulators, re-quantization
+/// shift and outputs. This is the zoo-level check CI's functional suite
+/// fails on: the graphs come from `loom_model::zoo::graphs`.
+///
+/// # Errors
+///
+/// Propagates executor errors (shape mismatches, malformed concats) from
+/// either path.
+pub fn validate_network(
+    geometry: LoomGeometry,
+    graph: &loom_model::graph::LayerGraph,
+    params: &loom_model::inference::NetworkParams,
+    inputs: &[loom_model::tensor::Tensor3],
+    options: loom_model::inference::InferenceOptions,
+    threads: usize,
+) -> Result<NetworkValidation, loom_model::inference::InferenceError> {
+    let golden = graph.run_batch(params, inputs, options)?;
+    let runs = crate::loom::NetworkEngine::new(geometry)
+        .with_threads(threads)
+        .run_batch(graph, params, inputs, options)?;
+    Ok(NetworkValidation {
+        traces_match: runs.iter().map(|r| &r.trace).eq(golden.iter()),
+        layers: golden.first().map(|t| t.layers.len()).unwrap_or(0),
+        cycles: runs.iter().map(|r| r.cycles).sum(),
+        reduced_groups: runs.iter().map(|r| r.reduced_groups).sum(),
+    })
+}
+
 fn report(outputs_match: bool, functional_cycles: u64, analytic_cycles: u64) -> ValidationReport {
     let cycle_error = if analytic_cycles == 0 {
         if functional_cycles == 0 {
@@ -261,6 +307,52 @@ mod tests {
         let r = validate_fc(geometry(), &spec, &input, &weights, pw);
         assert!(r.agrees_within(0.01), "{r}");
         assert!(r.to_string().contains("exact"));
+    }
+
+    #[test]
+    fn network_validation_matches_on_a_small_graph() {
+        use loom_model::graph::LayerGraph;
+        use loom_model::inference::{InferenceOptions, NetworkParams};
+        use loom_model::layer::PoolSpec;
+        use loom_model::network::NetworkBuilder;
+        use loom_model::tensor::Shape3;
+
+        let graph = LayerGraph::from_network(
+            &NetworkBuilder::new("tiny")
+                .conv("c1", ConvSpec::simple(2, 8, 8, 4, 3))
+                .max_pool("p1", PoolSpec::new(4, 6, 6, 2, 2))
+                .fully_connected("f1", FcSpec::new(4 * 3 * 3, 5))
+                .build()
+                .unwrap(),
+        );
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 4);
+        let mut rng = StdRng::seed_from_u64(12);
+        let inputs: Vec<_> = (0..2)
+            .map(|_| {
+                loom_model::tensor::Tensor3::from_vec(
+                    Shape3::new(2, 8, 8),
+                    synthetic_activations(
+                        &mut rng,
+                        2 * 8 * 8,
+                        Precision::new(8).unwrap(),
+                        ValueDistribution::activations(),
+                    ),
+                )
+                .unwrap()
+            })
+            .collect();
+        let v = validate_network(
+            geometry(),
+            &graph,
+            &params,
+            &inputs,
+            InferenceOptions::default(),
+            2,
+        )
+        .unwrap();
+        assert!(v.traces_match);
+        assert_eq!(v.layers, 3);
+        assert!(v.cycles > 0);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The zoo functional suite: whole networks — including branching
+//! GoogLeNet — through the DAG executor and the batched, parallel functional
+//! Loom engine, validated bit-exact against the golden model.
+//!
+//! The suite runs the topology-preserving reduced zoo variants
+//! (`loom_model::zoo::graphs::reduced_*`), which keep every structural
+//! feature of the originals (grouped convolutions, 1×1 cccp stacks,
+//! inception branches with padded pools and channel concats, FC heads) at a
+//! MAC count that stays affordable in debug builds. CI additionally runs the
+//! full-scale networks through `functional_bench`, which fails the job on any
+//! divergence.
+
+use loom_core::loom_model::graph::{GraphBuilder, LayerGraph, GRAPH_INPUT};
+use loom_core::loom_model::inference::{InferenceOptions, NetworkParams};
+use loom_core::loom_model::layer::{ConvSpec, FcSpec};
+use loom_core::loom_model::synthetic::{synthetic_activations, ValueDistribution};
+use loom_core::loom_model::tensor::Tensor3;
+use loom_core::loom_model::zoo::graphs;
+use loom_core::loom_model::Precision;
+use loom_core::loom_sim::config::LoomGeometry;
+use loom_core::loom_sim::loom::NetworkEngine;
+use loom_core::loom_sim::validate::validate_network;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn geometry() -> LoomGeometry {
+    // A scaled-down grid keeps the suite fast while exercising the same
+    // tiling logic as the paper's 128-row configuration.
+    LoomGeometry {
+        filter_rows: 8,
+        window_columns: 4,
+        sip_lanes: 8,
+        act_bits_per_cycle: 1,
+    }
+}
+
+fn zoo_input(graph: &LayerGraph, seed: u64) -> Tensor3 {
+    let shape = graph.input_shape().expect("zoo graphs start with a conv");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor3::from_vec(
+        shape,
+        synthetic_activations(
+            &mut rng,
+            shape.len(),
+            Precision::new(8).unwrap(),
+            ValueDistribution::activations(),
+        ),
+    )
+    .unwrap()
+}
+
+/// Golden-trace equivalence over the full reduced zoo: every network's
+/// functional run — batched, on two worker threads — must be bit-identical
+/// to the golden graph executor, layer by layer.
+#[test]
+fn reduced_zoo_matches_golden_reference() {
+    for graph in graphs::reduced_all() {
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 77);
+        let inputs = [zoo_input(&graph, 1), zoo_input(&graph, 2)];
+        let v = validate_network(
+            geometry(),
+            &graph,
+            &params,
+            &inputs,
+            InferenceOptions::default(),
+            2,
+        )
+        .unwrap();
+        assert!(
+            v.traces_match,
+            "{} diverged from the golden model",
+            graph.name()
+        );
+        assert_eq!(v.layers, graph.nodes().len(), "{}", graph.name());
+        assert!(v.cycles > 0, "{}", graph.name());
+    }
+}
+
+/// The branching GoogLeNet variant really branches: the functional engine
+/// must handle its concat nodes, and dynamic precision detection must fire
+/// somewhere in the network.
+#[test]
+fn reduced_googlenet_exercises_branches_and_detection() {
+    let graph = graphs::reduced_googlenet();
+    assert!(graph.concat_nodes().count() >= 3);
+    let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 5);
+    let run = NetworkEngine::new(geometry())
+        .run(
+            &graph,
+            &params,
+            &zoo_input(&graph, 9),
+            InferenceOptions::default(),
+        )
+        .unwrap();
+    assert!(
+        run.reduced_groups > 0,
+        "synthetic data must trigger reduction"
+    );
+    // The trace covers every node, ending at the classifier.
+    assert_eq!(run.trace.layers.len(), graph.nodes().len());
+    assert_eq!(run.trace.final_outputs().len(), 10);
+}
+
+/// Thread-count invariance: the same batch on 1, 2 and 8 worker threads must
+/// produce bit-identical results (traces, cycles, and reduced-group counts).
+#[test]
+fn thread_count_does_not_change_zoo_results() {
+    let graph = graphs::reduced_googlenet();
+    let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 21);
+    let inputs: Vec<Tensor3> = (0..3).map(|i| zoo_input(&graph, 30 + i)).collect();
+    let options = InferenceOptions::default();
+    let reference = NetworkEngine::new(geometry())
+        .run_batch(&graph, &params, &inputs, options)
+        .unwrap();
+    for threads in [2, 8] {
+        let runs = NetworkEngine::new(geometry())
+            .with_threads(threads)
+            .run_batch(&graph, &params, &inputs, options)
+            .unwrap();
+        assert_eq!(runs, reference, "{threads} threads diverged");
+    }
+}
+
+/// A tiny branching graph for the batch property test — small enough that
+/// proptest can afford dozens of cases.
+fn tiny_branching_graph() -> LayerGraph {
+    let b3 = ConvSpec {
+        padding: 1,
+        ..ConvSpec::simple(3, 4, 4, 2, 3)
+    };
+    GraphBuilder::new("tiny-fork")
+        .conv("stem", GRAPH_INPUT, ConvSpec::simple(2, 6, 6, 3, 3))
+        .conv("b1", "stem", ConvSpec::simple(3, 4, 4, 2, 1))
+        .conv("b3", "stem", b3)
+        .concat("merge", &["b1", "b3"])
+        .fully_connected("fc", "merge", FcSpec::new(4 * 16, 3))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch-of-N equals N batches of 1, for the golden executor and the
+    /// functional engine alike, at any thread count.
+    #[test]
+    fn batch_of_n_equals_n_single_runs(
+        n in 1usize..=4,
+        threads in 1usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let graph = tiny_branching_graph();
+        let params =
+            NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], seed);
+        let inputs: Vec<Tensor3> =
+            (0..n).map(|i| zoo_input(&graph, seed.wrapping_add(i as u64))).collect();
+        let options = InferenceOptions::default();
+
+        // Golden executor.
+        let golden_batch = graph.run_batch(&params, &inputs, options).unwrap();
+        for (i, input) in inputs.iter().enumerate() {
+            let single = graph.run(&params, input, options).unwrap();
+            prop_assert_eq!(&golden_batch[i], &single);
+        }
+
+        // Functional engine, batched and parallel, against the same golden.
+        let engine = NetworkEngine::new(geometry()).with_threads(threads);
+        let runs = engine.run_batch(&graph, &params, &inputs, options).unwrap();
+        prop_assert_eq!(runs.len(), n);
+        for (run, golden) in runs.iter().zip(golden_batch.iter()) {
+            prop_assert_eq!(&run.trace, golden);
+        }
+        for (i, input) in inputs.iter().enumerate() {
+            let single = engine.run(&graph, &params, input, options).unwrap();
+            prop_assert_eq!(&runs[i], &single);
+        }
+    }
+}
+
+/// The full-scale zoo graphs resolve and declare consistent entry shapes;
+/// execution at full scale lives in CI's `functional_bench` gate.
+#[test]
+fn full_scale_zoo_graphs_are_well_formed() {
+    for name in ["NiN", "AlexNet", "GoogLeNet", "VGGS", "VGGM", "VGG19"] {
+        let graph = graphs::by_name(name).unwrap();
+        let shape = graph.input_shape().unwrap();
+        assert_eq!(shape.c, 3, "{name}");
+        assert!(graph.total_macs() > 100_000_000, "{name}");
+    }
+    // The branching GoogLeNet graph replaces the linear aggregate form: it
+    // concatenates nine inception modules.
+    assert_eq!(
+        graphs::by_name("googlenet").unwrap().concat_nodes().count(),
+        9
+    );
+}
