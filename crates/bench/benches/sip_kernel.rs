@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks of the SIP kernel: the innermost operation of
-//! the whole simulator (16-lane serial inner product) at several operand
-//! precisions, three ways — the legacy bit-serial loop, the packed
-//! AND+popcount datapath (pre-transposed operands, plus a variant paying the
-//! transpose on every call), and the bit-parallel integer reference.
+//! the whole simulator at several operand precisions — the legacy bit-serial
+//! loop, the 64-lane packed AND+popcount datapath (pre-transposed operands,
+//! plus a variant paying the transpose on every call), the bit-parallel
+//! integer reference, and the 256-lane SIMD-wide datapath on a full block.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_core::loom_model::synthetic::{
@@ -11,7 +11,7 @@ use loom_core::loom_model::synthetic::{
 use loom_core::loom_model::Precision;
 use loom_core::loom_sim::loom::{
     packed_inner_product, packed_inner_product_slices, reference_inner_product,
-    serial_inner_product, BitplaneBlock,
+    serial_inner_product, wide_inner_product, BitplaneBlock, WideBitplaneBlock,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +64,25 @@ fn bench_sip(c: &mut Criterion) {
             &bits,
             |b, _| b.iter(|| reference_inner_product(black_box(&weights), black_box(&activations))),
         );
+
+        // The SIMD-wide datapath at a full 256-lane block, pre-transposed —
+        // one AND+popcount covers sixteen SIPs' worth of lanes.
+        let wide_weights = synthetic_weights(&mut rng, 256, p, ValueDistribution::weights());
+        let wide_acts = synthetic_activations(&mut rng, 256, p, ValueDistribution::activations());
+        let ww_block = WideBitplaneBlock::pack(&wide_weights);
+        let wa_block = WideBitplaneBlock::pack(&wide_acts);
+        group.bench_with_input(BenchmarkId::new("wide_256", bits), &bits, |b, _| {
+            b.iter(|| {
+                wide_inner_product(
+                    black_box(&ww_block),
+                    black_box(&wa_block),
+                    p,
+                    p,
+                    true,
+                    false,
+                )
+            })
+        });
     }
     group.finish();
 }

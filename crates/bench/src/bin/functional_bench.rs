@@ -1,25 +1,29 @@
-//! Functional-engine benchmark and bit-exactness gate.
+//! Functional-engine benchmark, bit-exactness gate and perf regression guard.
 //!
 //! Three sections, all emitted into `BENCH_functional.json`:
 //!
-//! 1. **Kernels** — times the SIP kernels (legacy bit-serial vs packed
-//!    AND+popcount) on 16-lane inner products at several precisions, then a
-//!    mid-size convolutional layer through the functional engine on both
+//! 1. **Kernels** — times 256-lane inner products at several precisions on
+//!    the legacy bit-serial loop, the 64-lane packed AND+popcount datapath
+//!    (four blocks), and the 256-lane SIMD-wide datapath (one block); then a
+//!    mid-size convolutional layer through the functional engine on all three
 //!    kernel paths, verifying the runs are bit-identical.
 //! 2. **Zoo** — runs whole networks (`loom_model::zoo::graphs`, including
 //!    branching GoogLeNet) through the batched functional engine and compares
 //!    every trace bit-for-bit against the golden graph executor.
-//! 3. **Batch** — runs one network as a batch of 4 on one worker thread and
-//!    again on the full thread budget, verifying bit-identical results and
-//!    recording the throughput ratio.
+//! 3. **Batch** — runs one network as a batch of 4 across a 1/2/4-thread
+//!    scaling curve, verifying bit-identical results at every point.
+//!    Interpret the speedups against the recorded `available_parallelism`.
 //!
-//! CI runs this as a smoke step and fails if any bit-exactness check fails.
-//! `--threads N` / `LOOM_THREADS` size the worker pool, `--filter <network>`
-//! restricts the zoo section, and `--reduced` swaps in the topology-preserving
-//! `Mini*` networks for a quick run.
+//! CI runs this as a smoke step and fails if any bit-exactness check fails
+//! **or** the conv-layer speedup of the wide engine over the bit-serial
+//! engine drops below the committed floor (`--min-conv-speedup`, default
+//! 12×). `--threads N` / `LOOM_THREADS` size the worker pool, `--filter
+//! <network>` restricts the zoo section, and `--reduced` swaps in the
+//! topology-preserving `Mini*` networks for a quick run.
 
 use loom_core::export::{
-    functional_bench_to_json, BatchBench, FunctionalBenchReport, KernelBench, ZooFunctionalRow,
+    functional_bench_to_json, BatchBench, FunctionalBenchReport, KernelBench, ScalingPoint,
+    ZooFunctionalRow,
 };
 use loom_core::loom_model::graph::LayerGraph;
 use loom_core::loom_model::inference::{InferenceOptions, NetworkParams};
@@ -31,14 +35,21 @@ use loom_core::loom_model::zoo::graphs;
 use loom_core::loom_model::{layer::ConvSpec, Precision};
 use loom_core::loom_sim::config::LoomGeometry;
 use loom_core::loom_sim::loom::{
-    packed_inner_product, serial_inner_product, BitplaneBlock, FunctionalLoom, NetworkEngine,
-    SipKernel,
+    packed_inner_product, serial_inner_product, wide_inner_product, BitplaneBlock, FunctionalLoom,
+    NetworkEngine, SipKernel, WideBitplaneBlock,
 };
 use loom_core::sweep::SweepOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Default floor for the conv-layer wide-over-serial speedup; CI fails the
+/// job below it.
+const DEFAULT_MIN_CONV_SPEEDUP: f64 = 12.0;
+
+/// Lanes per kernel micro-benchmark inner product.
+const KERNEL_LANES: usize = 256;
 
 /// Times `routine` with batch-size calibration (so `Instant` overhead stays
 /// negligible) until ~100 ms have elapsed; returns mean nanoseconds per call.
@@ -67,14 +78,23 @@ fn time_ns<O, F: FnMut() -> O>(mut routine: F) -> f64 {
     total as f64 / iters.max(1) as f64
 }
 
-/// Micro-benchmarks one 16-lane inner product at `bits`-bit operands on both
-/// kernels. The packed operands are pre-transposed, matching how the engine
-/// amortises packing across filters and windows.
+/// [`time_ns`] repeated three times, keeping the fastest — the minimum is the
+/// standard noise-robust estimator when the benchmarking core is shared.
+fn robust_ns<O, F: FnMut() -> O>(mut routine: F) -> f64 {
+    (0..3)
+        .map(|_| time_ns(&mut routine))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Micro-benchmarks one 256-lane inner product at `bits`-bit operands on all
+/// three kernels. The packed and wide operands are pre-transposed, matching
+/// how the engine amortises packing; the 64-lane kernel tiles the lanes as
+/// four blocks.
 fn bench_kernel(rng: &mut StdRng, bits: u8) -> KernelBench {
     let p = Precision::new(bits).unwrap();
-    let weights = synthetic_weights(rng, 16, p, ValueDistribution::weights());
-    let activations = synthetic_activations(rng, 16, p, ValueDistribution::activations());
-    let serial_ns = time_ns(|| {
+    let weights = synthetic_weights(rng, KERNEL_LANES, p, ValueDistribution::weights());
+    let activations = synthetic_activations(rng, KERNEL_LANES, p, ValueDistribution::activations());
+    let serial_ns = robust_ns(|| {
         serial_inner_product(
             black_box(&weights),
             black_box(&activations),
@@ -84,15 +104,25 @@ fn bench_kernel(rng: &mut StdRng, bits: u8) -> KernelBench {
             false,
         )
     });
-    let w_block = BitplaneBlock::pack(&weights);
-    let a_block = BitplaneBlock::pack(&activations);
-    let packed_ns = time_ns(|| {
-        packed_inner_product(black_box(&w_block), black_box(&a_block), p, p, true, false)
+    let w_blocks: Vec<BitplaneBlock> = weights.chunks(64).map(BitplaneBlock::pack).collect();
+    let a_blocks: Vec<BitplaneBlock> = activations.chunks(64).map(BitplaneBlock::pack).collect();
+    let packed_ns = robust_ns(|| {
+        w_blocks
+            .iter()
+            .zip(a_blocks.iter())
+            .map(|(w, a)| packed_inner_product(black_box(w), black_box(a), p, p, true, false))
+            .sum::<i64>()
     });
+    let w_wide = WideBitplaneBlock::pack(&weights);
+    let a_wide = WideBitplaneBlock::pack(&activations);
+    let wide_ns =
+        robust_ns(|| wide_inner_product(black_box(&w_wide), black_box(&a_wide), p, p, true, false));
     KernelBench {
         precision_bits: bits,
+        lanes: KERNEL_LANES,
         serial_ns,
         packed_ns,
+        wide_ns,
     }
 }
 
@@ -150,28 +180,52 @@ fn bench_zoo_network(
     }
 }
 
+/// Parses `--min-conv-speedup <x>` (or `--min-conv-speedup=<x>`), falling
+/// back to [`DEFAULT_MIN_CONV_SPEEDUP`] when the flag is absent. A flag
+/// present with a missing or unparsable value exits non-zero — silently
+/// guarding at the default would let a mistyped CI floor pass unnoticed.
+fn min_conv_speedup() -> f64 {
+    let reject = |value: &str| -> ! {
+        eprintln!("ERROR: --min-conv-speedup needs a numeric value, got {value:?}");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--min-conv-speedup" {
+            let value = args.next().unwrap_or_default();
+            return value.parse().unwrap_or_else(|_| reject(&value));
+        } else if let Some(value) = arg.strip_prefix("--min-conv-speedup=") {
+            return value.parse().unwrap_or_else(|_| reject(value));
+        }
+    }
+    DEFAULT_MIN_CONV_SPEEDUP
+}
+
 fn main() {
     let mut options = SweepOptions::from_env();
     let reduced = std::env::args().any(|a| a == "--reduced");
+    let speedup_floor = min_conv_speedup();
     let mut rng = StdRng::seed_from_u64(2018);
 
-    println!("SIP kernel: 16-lane inner product, bit-serial vs packed");
+    println!("SIP kernel: {KERNEL_LANES}-lane inner product, bit-serial vs packed vs wide");
     let kernels: Vec<KernelBench> = [4u8, 8, 16]
         .iter()
         .map(|&bits| {
             let k = bench_kernel(&mut rng, bits);
             println!(
-                "  {bits:>2}-bit: serial {:>9.1} ns  packed {:>7.1} ns  -> {:.1}x",
+                "  {bits:>2}-bit: serial {:>9.1} ns  packed {:>7.1} ns  wide {:>7.1} ns  -> wide {:.1}x serial, {:.1}x packed",
                 k.serial_ns,
                 k.packed_ns,
-                k.speedup()
+                k.wide_ns,
+                k.wide_speedup(),
+                k.wide_vs_packed()
             );
             k
         })
         .collect();
 
     // A mid-size conv layer (VGG-scale channel counts on a small feature map)
-    // through both engine paths, dynamic precision enabled.
+    // through all three engine paths, dynamic precision enabled.
     let spec = ConvSpec::simple(32, 16, 16, 32, 3);
     let pa = Precision::new(8).unwrap();
     let pw = Precision::new(8).unwrap();
@@ -217,14 +271,19 @@ fn main() {
     let serial_run = serial_engine.run_conv(&spec, &input, &weights, pa, pw);
     let conv_serial_seconds = started.elapsed().as_secs_f64();
 
-    let packed_engine = FunctionalLoom::new(geometry);
+    let packed_engine = FunctionalLoom::new(geometry).with_kernel(SipKernel::Packed);
     let started = Instant::now();
     let packed_run = packed_engine.run_conv(&spec, &input, &weights, pa, pw);
     let conv_packed_seconds = started.elapsed().as_secs_f64();
 
-    let kernels_agree = serial_run == packed_run;
+    let wide_engine = FunctionalLoom::new(geometry);
+    let started = Instant::now();
+    let wide_run = wide_engine.run_conv(&spec, &input, &weights, pa, pw);
+    let conv_wide_seconds = started.elapsed().as_secs_f64();
+
+    let kernels_agree = serial_run == packed_run && packed_run == wide_run;
     println!(
-        "  serial engine : {conv_serial_seconds:.3}s\n  packed engine : {conv_packed_seconds:.3}s\n  identical     : {kernels_agree}"
+        "  serial engine : {conv_serial_seconds:.3}s\n  packed engine : {conv_packed_seconds:.3}s\n  wide engine   : {conv_wide_seconds:.3}s\n  identical     : {kernels_agree}"
     );
 
     // Whole networks: golden graph executor vs the batched functional engine,
@@ -279,10 +338,11 @@ fn main() {
         })
         .collect();
 
-    // Batched throughput: one network, batch of 4, one worker vs the full
-    // budget. Bit-identical results are required; the speedup tracks how many
-    // cores the machine actually has (`available_parallelism` is recorded so
-    // a single-core runner's ~1x is interpretable).
+    // Batched throughput: one network, batch of 4, across a 1/2/4-thread
+    // scaling curve. Bit-identical results are required at every point; the
+    // speedups track how many cores the machine actually has
+    // (`available_parallelism` is recorded so a single-core runner's ~1x is
+    // interpretable).
     let batch = if options.filter.is_none() {
         let name = if reduced { "MiniAlexNet" } else { "AlexNet" };
         let graph = resolve(name);
@@ -290,39 +350,54 @@ fn main() {
             NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 2018);
         let inputs: Vec<Tensor3> = (0..4).map(|i| zoo_input(&graph, 9000 + i)).collect();
         let run_options = InferenceOptions::default();
-        let threads = options.threads.max(2);
+        let thread_curve = [1usize, 2, 4];
 
-        let started = Instant::now();
-        let serial = NetworkEngine::new(geometry)
-            .run_batch(&graph, &params, &inputs, run_options)
-            .expect("zoo graphs chain by construction");
-        let serial_seconds = started.elapsed().as_secs_f64();
-
-        let started = Instant::now();
-        let parallel = NetworkEngine::new(geometry)
-            .with_threads(threads)
-            .run_batch(&graph, &params, &inputs, run_options)
-            .expect("zoo graphs chain by construction");
-        let parallel_seconds = started.elapsed().as_secs_f64();
-
+        let mut scaling = Vec::with_capacity(thread_curve.len());
+        let mut reference = None;
+        let mut identical = true;
+        for &threads in &thread_curve {
+            let started = Instant::now();
+            let runs = NetworkEngine::new(geometry)
+                .with_threads(threads)
+                .run_batch(&graph, &params, &inputs, run_options)
+                .expect("zoo graphs chain by construction");
+            let seconds = started.elapsed().as_secs_f64();
+            scaling.push(ScalingPoint { threads, seconds });
+            match &reference {
+                None => reference = Some(runs),
+                Some(r) => identical &= *r == runs,
+            }
+        }
+        let serial_seconds = scaling[0].seconds;
+        let &ScalingPoint {
+            threads, seconds, ..
+        } = scaling.last().expect("curve is non-empty");
         let bench = BatchBench {
             network: graph.name().to_string(),
             batch: inputs.len(),
             threads,
             serial_seconds,
-            parallel_seconds,
-            identical: serial == parallel,
+            parallel_seconds: seconds,
+            identical,
+            scaling,
         };
-        println!(
-            "Batched engine: {} x{} on {} threads: 1-thread {:.2}s, parallel {:.2}s -> {:.2}x, identical: {}",
-            bench.network,
-            bench.batch,
-            bench.threads,
-            bench.serial_seconds,
-            bench.parallel_seconds,
-            bench.speedup(),
-            bench.identical
+        print!(
+            "Batched engine: {} x{} scaling curve:",
+            bench.network, bench.batch
         );
+        for p in &bench.scaling {
+            print!(
+                "  {}t {:.2}s ({:.2}x)",
+                p.threads,
+                p.seconds,
+                if p.seconds > 0.0 {
+                    bench.serial_seconds / p.seconds
+                } else {
+                    1.0
+                }
+            );
+        }
+        println!("  identical: {}", bench.identical);
         Some(bench)
     } else {
         None
@@ -333,6 +408,7 @@ fn main() {
         conv_layer,
         conv_serial_seconds,
         conv_packed_seconds,
+        conv_wide_seconds,
         kernels_agree,
         available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
@@ -341,8 +417,9 @@ fn main() {
         batch,
     };
     println!(
-        "Conv layer, packed vs bit-serial engine: {:.1}x",
-        report.conv_speedup()
+        "Conv layer, wide vs bit-serial engine: {:.1}x (64-lane packed: {:.1}x)",
+        report.conv_speedup(),
+        report.conv_packed_speedup()
     );
 
     let json = functional_bench_to_json(&report);
@@ -359,7 +436,16 @@ fn main() {
     if !report.all_agree() {
         eprintln!(
             "ERROR: a bit-exactness check failed (SIP kernels, a zoo network \
-             vs the golden model, or the parallel batch vs the serial one)"
+             vs the golden model, or a parallel batch vs the serial one)"
+        );
+        std::process::exit(1);
+    }
+    // Perf regression guard: the wide engine regressing below the committed
+    // floor fails CI even when every result is still bit-exact.
+    if report.conv_speedup() < speedup_floor {
+        eprintln!(
+            "ERROR: conv_speedup {:.1}x fell below the committed floor of {speedup_floor:.1}x",
+            report.conv_speedup()
         );
         std::process::exit(1);
     }

@@ -197,18 +197,24 @@ pub fn sweep_bench_to_json(report: &SweepBenchReport) -> String {
     out
 }
 
-/// One kernel micro-benchmark point: nanoseconds per 16-lane inner product
-/// for the legacy bit-serial loop and the packed AND+popcount datapath at one
-/// operand precision.
+/// One kernel micro-benchmark point: nanoseconds per `lanes`-lane inner
+/// product for the legacy bit-serial loop, the 64-lane packed AND+popcount
+/// datapath (tiled over the lanes), and the 256-lane SIMD-wide datapath, at
+/// one operand precision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelBench {
     /// Operand precision (both weights and activations), in bits.
     pub precision_bits: u8,
+    /// Lanes per inner product (the wide block width, 256).
+    pub lanes: usize,
     /// Mean wall-clock per inner product for the bit-serial kernel.
     pub serial_ns: f64,
-    /// Mean wall-clock per inner product for the packed kernel
+    /// Mean wall-clock per inner product for the 64-lane packed kernel
     /// (pre-transposed operands, as the engine amortises packing).
     pub packed_ns: f64,
+    /// Mean wall-clock per inner product for the 256-lane wide kernel
+    /// (pre-transposed operands).
+    pub wide_ns: f64,
 }
 
 impl KernelBench {
@@ -216,6 +222,25 @@ impl KernelBench {
     pub fn speedup(&self) -> f64 {
         if self.packed_ns > 0.0 {
             self.serial_ns / self.packed_ns
+        } else {
+            1.0
+        }
+    }
+
+    /// Serial-over-wide speedup (1.0 when the wide time is 0).
+    pub fn wide_speedup(&self) -> f64 {
+        if self.wide_ns > 0.0 {
+            self.serial_ns / self.wide_ns
+        } else {
+            1.0
+        }
+    }
+
+    /// Packed-over-wide ratio — how much the 256-lane datapath gains over
+    /// the 64-lane one at the same work (1.0 when the wide time is 0).
+    pub fn wide_vs_packed(&self) -> f64 {
+        if self.wide_ns > 0.0 {
+            self.packed_ns / self.wide_ns
         } else {
             1.0
         }
@@ -245,22 +270,36 @@ pub struct ZooFunctionalRow {
     pub matches_reference: bool,
 }
 
-/// Batched-throughput measurement: one network run as a batch on one worker
-/// thread and again on `threads` workers, with bit-exact result comparison.
+/// One point of the batched-throughput scaling curve: the same batch on a
+/// given worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker threads of this run.
+    pub threads: usize,
+    /// Wall-clock seconds of the batch.
+    pub seconds: f64,
+}
+
+/// Batched-throughput measurement: one network run as a batch across a
+/// per-thread scaling curve (1/2/4 workers), with bit-exact result
+/// comparison at every point. Interpret the speedups against the top-level
+/// `available_parallelism` — a single-core runner cannot show one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchBench {
     /// Network the batch ran.
     pub network: String,
     /// Batch size.
     pub batch: usize,
-    /// Worker threads of the parallel run.
+    /// Worker threads of the widest parallel run.
     pub threads: usize,
     /// Wall-clock seconds of the batch on one worker thread.
     pub serial_seconds: f64,
     /// Wall-clock seconds of the batch on `threads` workers.
     pub parallel_seconds: f64,
-    /// Whether the parallel results were bit-identical to the serial ones.
+    /// Whether every run's results were bit-identical to the one-thread run.
     pub identical: bool,
+    /// The full per-thread scaling curve, including the 1-thread point.
+    pub scaling: Vec<ScalingPoint>,
 }
 
 impl BatchBench {
@@ -276,10 +315,10 @@ impl BatchBench {
 
 /// One functional-benchmark measurement: the SIP kernel micro-benchmarks, a
 /// mid-size convolutional layer run end to end through the functional engine
-/// on both kernels, the zoo networks through the whole-network engine against
-/// the golden model, and a batched-throughput point. Rendered as
-/// machine-readable JSON by [`functional_bench_to_json`] (consumed by CI as
-/// `BENCH_functional.json`).
+/// on all three kernels, the zoo networks through the whole-network engine
+/// against the golden model, and a batched-throughput scaling curve.
+/// Rendered as machine-readable JSON by [`functional_bench_to_json`]
+/// (consumed by CI as `BENCH_functional.json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionalBenchReport {
     /// Kernel micro-benchmark points, one per operand precision.
@@ -288,9 +327,11 @@ pub struct FunctionalBenchReport {
     pub conv_layer: String,
     /// Wall-clock seconds of the conv layer on the bit-serial engine path.
     pub conv_serial_seconds: f64,
-    /// Wall-clock seconds of the conv layer on the packed engine path.
+    /// Wall-clock seconds of the conv layer on the 64-lane packed path.
     pub conv_packed_seconds: f64,
-    /// Whether the two engine paths produced identical functional runs
+    /// Wall-clock seconds of the conv layer on the 256-lane wide path.
+    pub conv_wide_seconds: f64,
+    /// Whether the three engine paths produced identical functional runs
     /// (outputs, cycles, and reduced groups). CI fails the job when false.
     pub kernels_agree: bool,
     /// Cores the benchmarking machine exposed (contextualises the batch
@@ -303,9 +344,19 @@ pub struct FunctionalBenchReport {
 }
 
 impl FunctionalBenchReport {
-    /// Serial-over-packed wall-clock ratio for the conv layer (1.0 when the
-    /// packed time is 0).
+    /// Serial-over-wide wall-clock ratio for the conv layer (1.0 when the
+    /// wide time is 0) — the headline speedup the CI perf guard floors.
     pub fn conv_speedup(&self) -> f64 {
+        if self.conv_wide_seconds > 0.0 {
+            self.conv_serial_seconds / self.conv_wide_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// Serial-over-packed wall-clock ratio for the conv layer (1.0 when the
+    /// packed time is 0) — the 64-lane datapath's speedup, for comparison.
+    pub fn conv_packed_speedup(&self) -> f64 {
         if self.conv_packed_seconds > 0.0 {
             self.conv_serial_seconds / self.conv_packed_seconds
         } else {
@@ -313,9 +364,10 @@ impl FunctionalBenchReport {
         }
     }
 
-    /// Whether every bit-exactness check in the report passed: the two SIP
-    /// kernels, every zoo network against the golden model, and the parallel
-    /// batch against the serial one. CI fails the job when false.
+    /// Whether every bit-exactness check in the report passed: the three SIP
+    /// kernels, every zoo network against the golden model, and every
+    /// parallel batch run against the serial one. CI fails the job when
+    /// false.
     pub fn all_agree(&self) -> bool {
         self.kernels_agree
             && self.zoo.iter().all(|z| z.matches_reference)
@@ -336,11 +388,15 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
         };
         let _ = writeln!(
             out,
-            "    {{\"precision_bits\": {}, \"serial_ns\": {:.2}, \"packed_ns\": {:.2}, \"speedup\": {:.2}}}{comma}",
+            "    {{\"precision_bits\": {}, \"lanes\": {}, \"serial_ns\": {:.2}, \"packed_ns\": {:.2}, \"wide_ns\": {:.2}, \"packed_speedup\": {:.2}, \"wide_speedup\": {:.2}, \"wide_vs_packed\": {:.2}}}{comma}",
             k.precision_bits,
+            k.lanes,
             k.serial_ns,
             k.packed_ns,
-            k.speedup()
+            k.wide_ns,
+            k.speedup(),
+            k.wide_speedup(),
+            k.wide_vs_packed()
         );
     }
     out.push_str("  ],\n");
@@ -359,7 +415,17 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
         "  \"conv_packed_seconds\": {:.6},",
         report.conv_packed_seconds
     );
+    let _ = writeln!(
+        out,
+        "  \"conv_wide_seconds\": {:.6},",
+        report.conv_wide_seconds
+    );
     let _ = writeln!(out, "  \"conv_speedup\": {:.4},", report.conv_speedup());
+    let _ = writeln!(
+        out,
+        "  \"conv_packed_speedup\": {:.4},",
+        report.conv_packed_speedup()
+    );
     let _ = writeln!(out, "  \"kernels_agree\": {},", report.kernels_agree);
     let _ = writeln!(
         out,
@@ -385,16 +451,32 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
     out.push_str("  ],\n");
     match &report.batch {
         Some(b) => {
+            let scaling: Vec<String> = b
+                .scaling
+                .iter()
+                .map(|p| {
+                    let speedup = if p.seconds > 0.0 {
+                        b.serial_seconds / p.seconds
+                    } else {
+                        1.0
+                    };
+                    format!(
+                        "{{\"threads\": {}, \"seconds\": {:.6}, \"speedup\": {:.4}}}",
+                        p.threads, p.seconds, speedup
+                    )
+                })
+                .collect();
             let _ = writeln!(
                 out,
-                "  \"batch\": {{\"network\": {}, \"batch\": {}, \"threads\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"identical\": {}}}",
+                "  \"batch\": {{\"network\": {}, \"batch\": {}, \"threads\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"identical\": {}, \"scaling\": [{}]}}",
                 json_string(&b.network),
                 b.batch,
                 b.threads,
                 b.serial_seconds,
                 b.parallel_seconds,
                 b.speedup(),
-                b.identical
+                b.identical,
+                scaling.join(", ")
             );
         }
         None => out.push_str("  \"batch\": null\n"),
@@ -477,18 +559,23 @@ mod tests {
             kernels: vec![
                 KernelBench {
                     precision_bits: 8,
+                    lanes: 256,
                     serial_ns: 1000.0,
                     packed_ns: 40.0,
+                    wide_ns: 10.0,
                 },
                 KernelBench {
                     precision_bits: 16,
+                    lanes: 256,
                     serial_ns: 4000.0,
                     packed_ns: 100.0,
+                    wide_ns: 40.0,
                 },
             ],
             conv_layer: "conv 32x16x16 k3".into(),
             conv_serial_seconds: 2.0,
             conv_packed_seconds: 0.2,
+            conv_wide_seconds: 0.05,
             kernels_agree: true,
             available_parallelism: 4,
             zoo: vec![ZooFunctionalRow {
@@ -508,18 +595,42 @@ mod tests {
                 serial_seconds: 8.0,
                 parallel_seconds: 2.0,
                 identical: true,
+                scaling: vec![
+                    ScalingPoint {
+                        threads: 1,
+                        seconds: 8.0,
+                    },
+                    ScalingPoint {
+                        threads: 2,
+                        seconds: 4.0,
+                    },
+                    ScalingPoint {
+                        threads: 4,
+                        seconds: 2.0,
+                    },
+                ],
             }),
         };
-        assert!((report.conv_speedup() - 10.0).abs() < 1e-12);
+        assert!((report.conv_speedup() - 40.0).abs() < 1e-12);
+        assert!((report.conv_packed_speedup() - 10.0).abs() < 1e-12);
         assert!((report.kernels[0].speedup() - 25.0).abs() < 1e-12);
+        assert!((report.kernels[0].wide_speedup() - 100.0).abs() < 1e-12);
+        assert!((report.kernels[0].wide_vs_packed() - 4.0).abs() < 1e-12);
         let json = functional_bench_to_json(&report);
         assert!(json.contains("\"precision_bits\": 8"));
-        assert!(json.contains("\"speedup\": 25.00"));
-        assert!(json.contains("\"conv_speedup\": 10.0000"));
+        assert!(json.contains("\"lanes\": 256"));
+        assert!(json.contains("\"packed_speedup\": 25.00"));
+        assert!(json.contains("\"wide_speedup\": 100.00"));
+        assert!(json.contains("\"wide_vs_packed\": 4.00"));
+        assert!(json.contains("\"conv_speedup\": 40.0000"));
+        assert!(json.contains("\"conv_packed_speedup\": 10.0000"));
+        assert!(json.contains("\"conv_wide_seconds\": 0.050000"));
         assert!(json.contains("\"kernels_agree\": true"));
         assert!(json.contains("\"network\": \"MiniGoogLeNet\""));
         assert!(json.contains("\"matches_reference\": true"));
         assert!(json.contains("\"speedup\": 4.0000"));
+        assert!(json.contains("\"scaling\": [{\"threads\": 1"));
+        assert!(json.contains("{\"threads\": 2, \"seconds\": 4.000000, \"speedup\": 2.0000}"));
         assert!(report.all_agree());
         assert!((report.batch.as_ref().unwrap().speedup() - 4.0).abs() < 1e-12);
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
@@ -536,15 +647,21 @@ mod tests {
         assert!(functional_bench_to_json(&no_batch).contains("\"batch\": null"));
         let degenerate = KernelBench {
             precision_bits: 4,
+            lanes: 256,
             serial_ns: 1.0,
             packed_ns: 0.0,
+            wide_ns: 0.0,
         };
         assert_eq!(degenerate.speedup(), 1.0);
+        assert_eq!(degenerate.wide_speedup(), 1.0);
+        assert_eq!(degenerate.wide_vs_packed(), 1.0);
         let zero = FunctionalBenchReport {
+            conv_wide_seconds: 0.0,
             conv_packed_seconds: 0.0,
             ..report
         };
         assert_eq!(zero.conv_speedup(), 1.0);
+        assert_eq!(zero.conv_packed_speedup(), 1.0);
     }
 
     #[test]

@@ -175,6 +175,42 @@ pub trait GraphCompute {
     ) -> Vec<i64>;
     /// Computes a fully-connected layer's accumulators.
     fn fc(&mut self, layer: &str, spec: &FcSpec, input: &[i32], weights: &[i32]) -> Vec<i64>;
+
+    /// Computes one convolutional layer for every batch item at once,
+    /// returning one accumulator vector per item (in item order). The default
+    /// simply loops [`GraphCompute::conv`]; backends that can amortise work
+    /// across the batch — the functional engine packs the layer's weight
+    /// planes once and fans (item × window-group) tasks over its worker pool
+    /// — override it. Results must be identical to the per-item loop.
+    fn conv_batch(
+        &mut self,
+        layer: &str,
+        spec: &ConvSpec,
+        inputs: &[Tensor3],
+        weights: &Tensor4,
+    ) -> Vec<Vec<i64>> {
+        inputs
+            .iter()
+            .map(|input| self.conv(layer, spec, input, weights))
+            .collect()
+    }
+
+    /// Computes one fully-connected layer for every batch item at once. The
+    /// default loops [`GraphCompute::fc`]; the functional engine overrides it
+    /// to pack each weight row once for the whole batch. Results must be
+    /// identical to the per-item loop.
+    fn fc_batch(
+        &mut self,
+        layer: &str,
+        spec: &FcSpec,
+        inputs: &[Vec<i32>],
+        weights: &[i32],
+    ) -> Vec<Vec<i64>> {
+        inputs
+            .iter()
+            .map(|input| self.fc(layer, spec, input, weights))
+            .collect()
+    }
 }
 
 /// The golden integer kernels as a [`GraphCompute`] backend.
@@ -335,22 +371,24 @@ impl LayerGraph {
         self.run_with(params, input, options, &[], &mut ReferenceCompute)
     }
 
-    /// Runs a forward pass over every input in `inputs`, in order. The traces
-    /// are independent — running a batch of N is exactly N runs of batch 1.
+    /// Runs a forward pass over every input in `inputs`. The traces are
+    /// independent — running a batch of N is bit-identical to N runs of
+    /// batch 1 — but the walk is *lock-step*: each node executes for the
+    /// whole batch before the schedule advances, so a batching backend sees
+    /// every item's input to a layer in one [`GraphCompute::conv_batch`] /
+    /// [`GraphCompute::fc_batch`] call.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-input error, as [`LayerGraph::run`] would.
+    /// Propagates the first error in (schedule, item) order, as
+    /// [`LayerGraph::run`] would report it for the offending item.
     pub fn run_batch(
         &self,
         params: &NetworkParams,
         inputs: &[Tensor3],
         options: InferenceOptions,
     ) -> Result<Vec<InferenceTrace>, InferenceError> {
-        inputs
-            .iter()
-            .map(|input| self.run(params, input, options))
-            .collect()
+        self.run_batch_with(params, inputs, options, &[], &mut ReferenceCompute)
     }
 
     /// Runs a forward pass like [`LayerGraph::run`], additionally clamping the
@@ -403,8 +441,53 @@ impl LayerGraph {
         compute_precisions: &[Precision],
         backend: &mut dyn GraphCompute,
     ) -> Result<InferenceTrace, InferenceError> {
+        Ok(self
+            .run_batch_with(
+                params,
+                std::slice::from_ref(input),
+                options,
+                compute_precisions,
+                backend,
+            )?
+            .pop()
+            .expect("one trace per input"))
+    }
+
+    /// The batched form of [`LayerGraph::run_with`] — and the single executor
+    /// every path is built on. The schedule is walked once, *lock-step*
+    /// across the batch: each compute node receives every item's input in one
+    /// [`GraphCompute::conv_batch`] / [`GraphCompute::fc_batch`] call, which
+    /// is what lets a backend pack a layer's weight planes once for the whole
+    /// batch and fan fine-grained (item × window-group) tasks over a worker
+    /// pool. Per-item results are bit-identical to `inputs.len()` single
+    /// runs.
+    ///
+    /// `compute_precisions` clamps the input of the `j`-th compute node (in
+    /// execution order) for every item, as
+    /// [`LayerGraph::run_with_precisions`] describes.
+    ///
+    /// # Errors
+    ///
+    /// The first error in (schedule, item) order, as [`LayerGraph::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` holds fewer weight sets than the graph has compute
+    /// nodes, or if a fully-connected weight set has the wrong length.
+    pub fn run_batch_with(
+        &self,
+        params: &NetworkParams,
+        inputs: &[Tensor3],
+        options: InferenceOptions,
+        compute_precisions: &[Precision],
+        backend: &mut dyn GraphCompute,
+    ) -> Result<Vec<InferenceTrace>, InferenceError> {
         if self.nodes.is_empty() {
             return Err(InferenceError::Empty);
+        }
+        let items = inputs.len();
+        if items == 0 {
+            return Ok(Vec::new());
         }
         // Per-edge liveness: how many consumers each node's output still has.
         // The output node gets one extra so its buffer survives the walk.
@@ -418,43 +501,40 @@ impl LayerGraph {
         }
         remaining[self.output] += 1;
 
-        let mut buffers: Vec<Option<(Vec<i32>, Shape3)>> = vec![None; self.nodes.len()];
-        let mut traces = Vec::with_capacity(self.nodes.len());
+        // One buffer per (node, item); freed for all items at once when the
+        // node's last consumer has run.
+        let mut buffers: Vec<Option<Vec<(Vec<i32>, Shape3)>>> = vec![None; self.nodes.len()];
+        let mut traces: Vec<Vec<LayerTrace>> = (0..items)
+            .map(|_| Vec::with_capacity(self.nodes.len()))
+            .collect();
         let mut compute_idx = 0usize;
+
+        // Borrow one (node, item) tensor out of the live buffers — no copy;
+        // the call sites that need ownership (clamping, traces) copy once.
+        fn bind<'a>(
+            inputs: &'a [Tensor3],
+            buffers: &'a [Option<Vec<(Vec<i32>, Shape3)>>],
+            source: &Source,
+            item: usize,
+        ) -> (&'a [i32], Shape3) {
+            match source {
+                Source::Input => (inputs[item].as_slice(), inputs[item].shape()),
+                Source::Node(i) => {
+                    let per_item = buffers[*i]
+                        .as_ref()
+                        .expect("schedule orders every source before its consumers");
+                    (per_item[item].0.as_slice(), per_item[item].1)
+                }
+            }
+        }
 
         for &idx in &self.schedule {
             let node = &self.nodes[idx];
-            let bind = |source: &Source| -> (&[i32], Shape3) {
-                match source {
-                    Source::Input => (input.as_slice(), input.shape()),
-                    Source::Node(i) => {
-                        let (values, shape) = buffers[*i]
-                            .as_ref()
-                            .expect("schedule orders every source before its consumers");
-                        (values.as_slice(), *shape)
-                    }
-                }
-            };
-
-            let trace = match &node.op {
+            match &node.op {
                 NodeOp::Layer(LayerKind::Conv(spec)) => {
                     spec.validate()?;
-                    let (values, _) = bind(&node.sources[0]);
-                    let mut values = values.to_vec();
-                    if let Some(&p) = compute_precisions.get(compute_idx) {
-                        values = apply_precision(&values, p);
-                    }
-                    let expected = spec.input_shape().len();
-                    if values.len() != expected {
-                        return Err(InferenceError::ShapeMismatch {
-                            layer: node.name.clone(),
-                            produced: values.len(),
-                            expected,
-                        });
-                    }
-                    let in_tensor = Tensor3::from_vec(spec.input_shape(), values.clone())
-                        .expect("length checked above");
                     let weights = &params.layers()[compute_idx];
+                    let clamp = compute_precisions.get(compute_idx).copied();
                     compute_idx += 1;
                     let w_shape = spec.weight_shape();
                     let w_tensor = Tensor4::from_vec(
@@ -466,103 +546,149 @@ impl LayerGraph {
                         produced: weights.values.len(),
                         expected: w_shape.len(),
                     })?;
-                    let acc = backend.conv(&node.name, spec, &in_tensor, &w_tensor);
-                    let shift = choose_requant_shift(&acc, options.activation_precision);
-                    let mut out = requantize(&acc, shift, options.activation_precision);
-                    if options.relu {
-                        relu_in_place(&mut out);
+                    let expected = spec.input_shape().len();
+                    let mut item_values = Vec::with_capacity(items);
+                    let mut item_tensors = Vec::with_capacity(items);
+                    for item in 0..items {
+                        let (bound, _) = bind(inputs, &buffers, &node.sources[0], item);
+                        let mut values = bound.to_vec();
+                        if let Some(p) = clamp {
+                            values = apply_precision(&values, p);
+                        }
+                        if values.len() != expected {
+                            return Err(InferenceError::ShapeMismatch {
+                                layer: node.name.clone(),
+                                produced: values.len(),
+                                expected,
+                            });
+                        }
+                        item_tensors.push(
+                            Tensor3::from_vec(spec.input_shape(), values.clone())
+                                .expect("length checked above"),
+                        );
+                        item_values.push(values);
                     }
-                    buffers[idx] = Some((out.clone(), spec.output_shape()));
-                    LayerTrace {
-                        layer_name: node.name.clone(),
-                        inputs: values,
-                        accumulators: acc,
-                        outputs: out,
-                        requant_shift: shift,
+                    let accs = backend.conv_batch(&node.name, spec, &item_tensors, &w_tensor);
+                    let mut outs = Vec::with_capacity(items);
+                    for (item, acc) in accs.into_iter().enumerate() {
+                        let shift = choose_requant_shift(&acc, options.activation_precision);
+                        let mut out = requantize(&acc, shift, options.activation_precision);
+                        if options.relu {
+                            relu_in_place(&mut out);
+                        }
+                        traces[item].push(LayerTrace {
+                            layer_name: node.name.clone(),
+                            inputs: std::mem::take(&mut item_values[item]),
+                            accumulators: acc,
+                            outputs: out.clone(),
+                            requant_shift: shift,
+                        });
+                        outs.push((out, spec.output_shape()));
                     }
+                    buffers[idx] = Some(outs);
                 }
                 NodeOp::Layer(LayerKind::FullyConnected(spec)) => {
                     spec.validate()?;
-                    let (values, _) = bind(&node.sources[0]);
-                    let mut values = values.to_vec();
-                    if let Some(&p) = compute_precisions.get(compute_idx) {
-                        values = apply_precision(&values, p);
-                    }
-                    if values.len() != spec.in_features {
-                        return Err(InferenceError::ShapeMismatch {
-                            layer: node.name.clone(),
-                            produced: values.len(),
-                            expected: spec.in_features,
-                        });
-                    }
                     let weights = &params.layers()[compute_idx];
+                    let clamp = compute_precisions.get(compute_idx).copied();
                     compute_idx += 1;
-                    let acc = backend.fc(&node.name, spec, &values, &weights.values);
-                    let shift = choose_requant_shift(&acc, options.activation_precision);
-                    let mut out = requantize(&acc, shift, options.activation_precision);
-                    if options.relu {
-                        relu_in_place(&mut out);
+                    let mut item_values = Vec::with_capacity(items);
+                    for item in 0..items {
+                        let (bound, _) = bind(inputs, &buffers, &node.sources[0], item);
+                        let mut values = bound.to_vec();
+                        if let Some(p) = clamp {
+                            values = apply_precision(&values, p);
+                        }
+                        if values.len() != spec.in_features {
+                            return Err(InferenceError::ShapeMismatch {
+                                layer: node.name.clone(),
+                                produced: values.len(),
+                                expected: spec.in_features,
+                            });
+                        }
+                        item_values.push(values);
                     }
-                    buffers[idx] = Some((out.clone(), Shape3::new(spec.out_features, 1, 1)));
-                    LayerTrace {
-                        layer_name: node.name.clone(),
-                        inputs: values,
-                        accumulators: acc,
-                        outputs: out,
-                        requant_shift: shift,
+                    let accs = backend.fc_batch(&node.name, spec, &item_values, &weights.values);
+                    let mut outs = Vec::with_capacity(items);
+                    for (item, acc) in accs.into_iter().enumerate() {
+                        let shift = choose_requant_shift(&acc, options.activation_precision);
+                        let mut out = requantize(&acc, shift, options.activation_precision);
+                        if options.relu {
+                            relu_in_place(&mut out);
+                        }
+                        traces[item].push(LayerTrace {
+                            layer_name: node.name.clone(),
+                            inputs: std::mem::take(&mut item_values[item]),
+                            accumulators: acc,
+                            outputs: out.clone(),
+                            requant_shift: shift,
+                        });
+                        outs.push((out, Shape3::new(spec.out_features, 1, 1)));
                     }
+                    buffers[idx] = Some(outs);
                 }
                 NodeOp::Layer(LayerKind::MaxPool(spec)) => {
-                    let (values, _) = bind(&node.sources[0]);
-                    let values = values.to_vec();
                     let expected = spec.input_shape().len();
-                    if values.len() != expected {
-                        return Err(InferenceError::ShapeMismatch {
-                            layer: node.name.clone(),
-                            produced: values.len(),
-                            expected,
+                    let mut outs = Vec::with_capacity(items);
+                    for item in 0..items {
+                        let (bound, _) = bind(inputs, &buffers, &node.sources[0], item);
+                        let values = bound.to_vec();
+                        if values.len() != expected {
+                            return Err(InferenceError::ShapeMismatch {
+                                layer: node.name.clone(),
+                                produced: values.len(),
+                                expected,
+                            });
+                        }
+                        let in_tensor = Tensor3::from_vec(spec.input_shape(), values.clone())
+                            .expect("length checked above");
+                        let out = max_pool_forward(spec, &in_tensor).into_vec();
+                        traces[item].push(LayerTrace {
+                            layer_name: node.name.clone(),
+                            inputs: values,
+                            accumulators: Vec::new(),
+                            outputs: out.clone(),
+                            requant_shift: 0,
                         });
+                        outs.push((out, spec.output_shape()));
                     }
-                    let in_tensor = Tensor3::from_vec(spec.input_shape(), values.clone())
-                        .expect("length checked above");
-                    let out_tensor = max_pool_forward(spec, &in_tensor);
-                    let out = out_tensor.as_slice().to_vec();
-                    buffers[idx] = Some((out.clone(), spec.output_shape()));
-                    LayerTrace {
-                        layer_name: node.name.clone(),
-                        inputs: values,
-                        accumulators: Vec::new(),
-                        outputs: out,
-                        requant_shift: 0,
-                    }
+                    buffers[idx] = Some(outs);
                 }
                 NodeOp::Concat => {
-                    let bound: Vec<(&[i32], Shape3)> = node.sources.iter().map(&bind).collect();
-                    let (h, w) = (bound[0].1.h, bound[0].1.w);
-                    if bound.iter().any(|(_, s)| s.h != h || s.w != w) {
-                        return Err(InferenceError::Graph(GraphError::ConcatShape {
-                            node: node.name.clone(),
-                        }));
+                    let mut outs = Vec::with_capacity(items);
+                    for item in 0..items {
+                        let bound: Vec<(&[i32], Shape3)> = node
+                            .sources
+                            .iter()
+                            .map(|s| bind(inputs, &buffers, s, item))
+                            .collect();
+                        let (h, w) = (bound[0].1.h, bound[0].1.w);
+                        if bound.iter().any(|(_, s)| s.h != h || s.w != w) {
+                            return Err(InferenceError::Graph(GraphError::ConcatShape {
+                                node: node.name.clone(),
+                            }));
+                        }
+                        let channels = bound.iter().map(|(_, s)| s.c).sum();
+                        let mut out = Vec::with_capacity(bound.iter().map(|(v, _)| v.len()).sum());
+                        for (values, _) in &bound {
+                            out.extend_from_slice(values);
+                        }
+                        // Concat moves no values through the datapath; its
+                        // trace records the merged tensor as outputs and
+                        // leaves inputs empty rather than duplicating every
+                        // branch.
+                        traces[item].push(LayerTrace {
+                            layer_name: node.name.clone(),
+                            inputs: Vec::new(),
+                            accumulators: Vec::new(),
+                            outputs: out.clone(),
+                            requant_shift: 0,
+                        });
+                        outs.push((out, Shape3::new(channels, h, w)));
                     }
-                    let channels = bound.iter().map(|(_, s)| s.c).sum();
-                    let mut out = Vec::with_capacity(bound.iter().map(|(v, _)| v.len()).sum());
-                    for (values, _) in &bound {
-                        out.extend_from_slice(values);
-                    }
-                    buffers[idx] = Some((out.clone(), Shape3::new(channels, h, w)));
-                    // Concat moves no values through the datapath; its trace
-                    // records the merged tensor as outputs and leaves inputs
-                    // empty rather than duplicating every branch.
-                    LayerTrace {
-                        layer_name: node.name.clone(),
-                        inputs: Vec::new(),
-                        accumulators: Vec::new(),
-                        outputs: out,
-                        requant_shift: 0,
-                    }
+                    buffers[idx] = Some(outs);
                 }
-            };
-            traces.push(trace);
+            }
 
             // Release source buffers whose last consumer just ran.
             for source in &self.nodes[idx].sources {
@@ -574,7 +700,10 @@ impl LayerGraph {
                 }
             }
         }
-        Ok(InferenceTrace { layers: traces })
+        Ok(traces
+            .into_iter()
+            .map(|layers| InferenceTrace { layers })
+            .collect())
     }
 }
 

@@ -60,6 +60,23 @@ pub fn window_patch(
     c_count: usize,
 ) -> WindowPatch {
     let mut patch = Vec::with_capacity(c_count * spec.kernel_h * spec.kernel_w);
+    window_patch_into(spec, input, oy, ox, c_base, c_count, &mut patch);
+    patch
+}
+
+/// Appends the window patch for output position `(oy, ox)` to `patch` instead
+/// of allocating a fresh vector — the arena form the wide functional datapath
+/// uses on its hot path (one scratch buffer per worker, cleared per window).
+pub fn window_patch_into(
+    spec: &ConvSpec,
+    input: &Tensor3,
+    oy: usize,
+    ox: usize,
+    c_base: usize,
+    c_count: usize,
+    patch: &mut Vec<i32>,
+) {
+    patch.reserve(c_count * spec.kernel_h * spec.kernel_w);
     for c in 0..c_count {
         for ky in 0..spec.kernel_h {
             for kx in 0..spec.kernel_w {
@@ -69,7 +86,6 @@ pub fn window_patch(
             }
         }
     }
-    patch
 }
 
 /// Computes a convolution through the lowered form: for every window row of the

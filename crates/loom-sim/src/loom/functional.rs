@@ -9,11 +9,25 @@
 //! both the computed outputs and the cycles spent, with optional dynamic
 //! per-group activation precision detection.
 //!
-//! The inner products are evaluated by a selectable [`SipKernel`]: the packed
-//! AND+popcount datapath of [`crate::loom::packed`] by default, or the
-//! didactic one-bit-at-a-time loop of [`crate::loom::sip`]. Both are
-//! bit-identical; window patches and weight chunks are transposed into
-//! [`BitplaneBlock`]s once per tile and reused across every filter either way.
+//! The inner products are evaluated by a selectable [`SipKernel`]:
+//!
+//! * [`SipKernel::Wide`] (the default) — the 256-lane `[u64; 4]` datapath of
+//!   [`crate::loom::wide`], with runtime AVX2 dispatch. Window patches are
+//!   extracted into per-worker pack arenas (scratch reused across a worker's
+//!   jobs), packed into wide blocks once per window, and evaluated
+//!   filters-outer / plane-inner so one filter's weight planes stay hot while
+//!   a window group's activation planes stream from L1.
+//! * [`SipKernel::Packed`] — the original 64-lane single-word AND+popcount
+//!   datapath of [`crate::loom::packed`], kept as an intermediate
+//!   cross-check.
+//! * [`SipKernel::BitSerial`] — the didactic one-bit-at-a-time loop of
+//!   [`crate::loom::sip`].
+//!
+//! All three are bit-identical — same outputs, same cycle counts, same
+//! dynamically reduced groups; the functional benchmark and CI cross-check
+//! them on every run. Cycle accounting always follows the architectural
+//! per-SIP-group detector (window-group × `sip_lanes` chunk), regardless of
+//! how the arithmetic is vectorised.
 //!
 //! Outputs are checked against the golden model from `loom-model`; cycles are
 //! checked against the analytic schedules.
@@ -22,24 +36,28 @@ use crate::config::LoomGeometry;
 use crate::loom::packed::{packed_inner_product, BitplaneBlock, MagnitudeOr};
 use crate::loom::parallel;
 use crate::loom::sip::serial_inner_product;
-use loom_model::fixed::Precision;
-use loom_model::im2col::{window_patch, WindowPatch};
+use crate::loom::wide::{wide_inner_product, WideBitplaneBlock, WIDE_LANES, WIDE_WORDS};
+use loom_model::fixed::{Precision, MAX_PRECISION};
+use loom_model::im2col::{window_patch, window_patch_into, WindowPatch};
 use loom_model::layer::{ConvSpec, FcSpec};
 use loom_model::tensor::{Tensor3, Tensor4};
 
 /// Which software implementation of the SIP kernel the engine evaluates inner
-/// products with. Both are bit-exact; they differ only in speed.
+/// products with. All are bit-exact; they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SipKernel {
     /// One bit × one lane at a time, exactly as
     /// [`serial_inner_product`] walks Figure 3 — didactic and cycle-faithful,
     /// but orders of magnitude slower.
     BitSerial,
-    /// Word-wide AND + popcount over packed bit planes
+    /// Word-wide AND + popcount over 64-lane packed bit planes
     /// ([`packed_inner_product`]) — bit-identical to the serial kernel by
-    /// construction, and the default.
-    #[default]
+    /// construction; retained as a cross-check tier.
     Packed,
+    /// 256-lane `[u64; 4]` planes with runtime-dispatched AVX2 AND+popcount
+    /// ([`wide_inner_product`]) — bit-identical to both, and the default.
+    #[default]
+    Wide,
 }
 
 /// Result of running a layer through the functional engine.
@@ -63,13 +81,13 @@ pub struct FunctionalLoom {
     pub dynamic_precision: bool,
     /// Which SIP kernel evaluates the inner products.
     pub kernel: SipKernel,
-    /// Worker threads convolutional window groups are fanned across.
+    /// Worker threads layer jobs are fanned across.
     threads: usize,
 }
 
 impl FunctionalLoom {
     /// Creates an engine with the given geometry, dynamic precision detection
-    /// enabled (the paper's default), the packed SIP kernel, and one worker
+    /// enabled (the paper's default), the wide SIP kernel, and one worker
     /// thread.
     pub fn new(geometry: LoomGeometry) -> Self {
         FunctionalLoom {
@@ -80,18 +98,17 @@ impl FunctionalLoom {
         }
     }
 
-    /// Fans each convolution's window groups across `threads` scoped workers
-    /// (clamped to at least 1). Results are bit-identical at any thread
-    /// count: window groups write disjoint output ranges and the cycle and
-    /// reduced-group counters are merged in group order. Fully-connected
-    /// layers stay serial — the batched network engine parallelises across
-    /// batch items instead, which covers FCL-heavy networks.
+    /// Fans each layer's jobs across `threads` scoped workers (clamped to at
+    /// least 1): convolutional window groups for every kernel, plus
+    /// fully-connected output-row groups on the wide kernel. Results are
+    /// bit-identical at any thread count: jobs write disjoint output ranges
+    /// and the cycle and reduced-group counters are merged in job order.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 
-    /// Worker threads convolutional window groups are fanned across.
+    /// Worker threads layer jobs are fanned across.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -102,9 +119,9 @@ impl FunctionalLoom {
         self
     }
 
-    /// Selects the SIP kernel (the legacy bit-serial loop or the packed
-    /// AND+popcount datapath). Results are identical either way; the
-    /// functional benchmark and CI use this to cross-check the two.
+    /// Selects the SIP kernel (the legacy bit-serial loop, the 64-lane packed
+    /// datapath, or the wide 256-lane datapath). Results are identical either
+    /// way; the functional benchmark and CI use this to cross-check them.
     pub fn with_kernel(mut self, kernel: SipKernel) -> Self {
         self.kernel = kernel;
         self
@@ -129,6 +146,30 @@ impl FunctionalLoom {
     /// datapath holds a SIP's lanes in one plane word; the real design uses
     /// 16).
     pub fn run_conv(
+        &self,
+        spec: &ConvSpec,
+        input: &Tensor3,
+        weights: &Tensor4,
+        pa: Precision,
+        pw: Precision,
+    ) -> FunctionalRun {
+        if self.kernel == SipKernel::Wide {
+            let filters = FunctionalLoom::pack_wide_filters(spec, weights);
+            let job = self.wide_conv_job(spec, input, &filters, pa, pw);
+            let groups = parallel::ordered_map_with(
+                self.threads,
+                job.group_count(),
+                ConvArena::default,
+                |arena, g| job.run_group(arena, g),
+            );
+            return merge_window_groups(spec.filters, spec.windows(), groups);
+        }
+        self.run_conv_legacy(spec, input, weights, pa, pw)
+    }
+
+    /// The original 64-lane / bit-serial engine path, kept verbatim as the
+    /// cross-check reference for the wide datapath.
+    fn run_conv_legacy(
         &self,
         spec: &ConvSpec,
         input: &Tensor3,
@@ -215,25 +256,7 @@ impl FunctionalLoom {
         let group_count = windows.div_ceil(cols);
         let groups =
             parallel::ordered_map(self.threads, group_count, |g| ctx.window_group(g * cols));
-
-        let mut outputs = vec![0i64; spec.filters * windows];
-        let mut cycles = 0u64;
-        let mut reduced_groups = 0u64;
-        for group in groups {
-            cycles += group.cycles;
-            reduced_groups += group.reduced_groups;
-            for k in 0..spec.filters {
-                let dst = k * windows + group.window_base;
-                outputs[dst..dst + group.window_count].copy_from_slice(
-                    &group.outputs[k * group.window_count..][..group.window_count],
-                );
-            }
-        }
-        FunctionalRun {
-            outputs,
-            cycles,
-            reduced_groups,
-        }
+        merge_window_groups(spec.filters, windows, groups)
     }
 
     /// Runs a fully-connected layer bit-serially. Every SIP is assigned one
@@ -259,22 +282,28 @@ impl FunctionalLoom {
             spec.in_features * spec.out_features,
             "weight length mismatch"
         );
-        let lanes = self.geometry.sip_lanes;
-        let b = u64::from(self.geometry.act_bits_per_cycle);
-        let concurrent = self.geometry.concurrent_fc_outputs();
-        let act_cycles_per_weight_bit = (lanes as u64).div_ceil(b);
+        let cycles = self.fc_cycles(spec, pw);
+        if self.kernel == SipKernel::Wide {
+            let job = WideFcJob::new(spec, &[input], weights, pw);
+            let rows = parallel::ordered_map_with(
+                self.threads,
+                job.row_group_count(),
+                FcArena::default,
+                |arena, g| job.run_rows(arena, g),
+            );
+            let mut outputs = Vec::with_capacity(spec.out_features);
+            for chunk in rows {
+                outputs.extend(chunk);
+            }
+            return FunctionalRun {
+                outputs,
+                cycles,
+                reduced_groups: 0,
+            };
+        }
 
-        // Cascading: slice each output over `slices` SIPs when outputs are few.
-        let slices = if spec.out_features < concurrent {
-            (concurrent / spec.out_features)
-                .min(self.geometry.window_columns)
-                .max(1)
-        } else {
-            1
-        };
+        let lanes = self.geometry.sip_lanes;
         let chunks = spec.in_features.div_ceil(lanes);
-        let chunks_per_slice = chunks.div_ceil(slices);
-        let output_groups = (spec.out_features * slices).div_ceil(concurrent) as u64;
 
         // Transpose the input activation chunks once; every output row's inner
         // product reuses the same packed planes. The bit-serial kernel reads
@@ -306,7 +335,7 @@ impl FunctionalLoom {
                         true,
                         true,
                     ),
-                    SipKernel::BitSerial => serial_inner_product(
+                    _ => serial_inner_product(
                         &row[base..base + count],
                         &input[base..base + count],
                         pw,
@@ -317,23 +346,528 @@ impl FunctionalLoom {
                 };
             }
         }
+        FunctionalRun {
+            outputs,
+            cycles,
+            reduced_groups: 0,
+        }
+    }
 
-        // Steady-state cycles plus the pipeline fill (staggered weight loading
-        // across columns) and the cascade reduction cycles.
+    /// Cycles a fully-connected layer occupies the grid for: steady-state
+    /// cycles plus the pipeline fill (staggered weight loading across
+    /// columns) and the cascade reduction cycles. Identical for every kernel
+    /// — the arithmetic vectorisation never changes what the hardware would
+    /// spend.
+    pub(crate) fn fc_cycles(&self, spec: &FcSpec, pw: Precision) -> u64 {
+        let lanes = self.geometry.sip_lanes;
+        let b = u64::from(self.geometry.act_bits_per_cycle);
+        let concurrent = self.geometry.concurrent_fc_outputs();
+        let act_cycles_per_weight_bit = (lanes as u64).div_ceil(b);
+
+        // Cascading: slice each output over `slices` SIPs when outputs are few.
+        let slices = if spec.out_features < concurrent {
+            (concurrent / spec.out_features)
+                .min(self.geometry.window_columns)
+                .max(1)
+        } else {
+            1
+        };
+        let chunks = spec.in_features.div_ceil(lanes);
+        let chunks_per_slice = chunks.div_ceil(slices);
+        let output_groups = (spec.out_features * slices).div_ceil(concurrent) as u64;
+
         let steady =
             output_groups * chunks_per_slice as u64 * pw.bits_u64() * act_cycles_per_weight_bit;
         let fill = (self.geometry.window_columns as u64 - 1) * act_cycles_per_weight_bit;
         let reduction = slices as u64 - 1;
-        FunctionalRun {
-            outputs,
-            cycles: steady + fill + reduction,
-            reduced_groups: 0,
+        steady + fill + reduction
+    }
+
+    /// Transposes every filter of a convolution into wide bit-plane blocks,
+    /// with per-block detected weight precisions and zero flags. Packed once
+    /// per layer — and, through the batched network engine, once per *batch*:
+    /// every window group, worker thread and batch item reads the same
+    /// blocks.
+    pub(crate) fn pack_wide_filters(spec: &ConvSpec, weights: &Tensor4) -> WideFilterPlanes {
+        assert_eq!(
+            weights.shape(),
+            spec.weight_shape(),
+            "weight shape mismatch"
+        );
+        let wpf = spec.weights_per_filter();
+        let blocks_per_filter = wpf.div_ceil(WIDE_LANES);
+        let mut blocks = Vec::with_capacity(spec.filters * blocks_per_filter);
+        let mut precisions = Vec::with_capacity(blocks.capacity());
+        let mut zero = Vec::with_capacity(blocks.capacity());
+        for k in 0..spec.filters {
+            let filter = weights.filter(k);
+            for b in 0..blocks_per_filter {
+                let base = b * WIDE_LANES;
+                let count = WIDE_LANES.min(wpf - base);
+                let block = WideBitplaneBlock::pack(&filter[base..base + count]);
+                precisions.push(block.detected_precision(true));
+                zero.push(block.is_zero());
+                blocks.push(block);
+            }
+        }
+        WideFilterPlanes {
+            blocks,
+            precisions,
+            zero,
+            blocks_per_filter,
+        }
+    }
+
+    /// Builds the shared, read-only context for one (layer, input) pair on
+    /// the wide datapath. The returned job exposes its window groups as
+    /// independent tasks, which is the granularity the batched network engine
+    /// fans across its worker pool.
+    ///
+    /// # Panics
+    ///
+    /// As [`FunctionalLoom::run_conv`].
+    pub(crate) fn wide_conv_job<'a>(
+        &self,
+        spec: &'a ConvSpec,
+        input: &'a Tensor3,
+        filters: &'a WideFilterPlanes,
+        pa: Precision,
+        pw: Precision,
+    ) -> WideConvJob<'a> {
+        assert_eq!(input.shape(), spec.input_shape(), "input shape mismatch");
+        assert_eq!(
+            filters.blocks.len(),
+            spec.filters * filters.blocks_per_filter,
+            "weight planes do not tile the filters"
+        );
+        let wpf = spec.weights_per_filter();
+        WideConvJob {
+            spec,
+            input,
+            filters,
+            pa,
+            pw,
+            activations_signed: input.as_slice().iter().any(|&v| v < 0),
+            detection: self.dynamic_precision && spec.groups == 1,
+            cols: self.geometry.window_columns,
+            rows: self.geometry.filter_rows,
+            sip_lanes: self.geometry.sip_lanes,
+            b: u64::from(self.geometry.act_bits_per_cycle),
+            out_w: spec.out_width(),
+            windows: spec.windows(),
+            group_in: spec.in_channels / spec.groups,
+            group_out: spec.filters / spec.groups,
+            wpf,
+            sip_chunks: wpf.div_ceil(self.geometry.sip_lanes),
+            wide_blocks: wpf.div_ceil(WIDE_LANES),
         }
     }
 }
 
-/// Everything a convolutional window-group job needs, shared read-only
-/// across the worker pool.
+/// Merges per-window-group partial results into the layer-wide filter-major
+/// output layout, accumulating cycles and reduced-group counts in group
+/// order (bit-identical at any thread count).
+pub(crate) fn merge_window_groups(
+    filters: usize,
+    windows: usize,
+    groups: Vec<WindowGroupRun>,
+) -> FunctionalRun {
+    let mut outputs = vec![0i64; filters * windows];
+    let mut cycles = 0u64;
+    let mut reduced_groups = 0u64;
+    for group in groups {
+        cycles += group.cycles;
+        reduced_groups += group.reduced_groups;
+        for k in 0..filters {
+            let dst = k * windows + group.window_base;
+            outputs[dst..dst + group.window_count]
+                .copy_from_slice(&group.outputs[k * group.window_count..][..group.window_count]);
+        }
+    }
+    FunctionalRun {
+        outputs,
+        cycles,
+        reduced_groups,
+    }
+}
+
+/// A convolution's weights in wide bit-plane form: `filters ×
+/// blocks_per_filter` blocks, filter-major, with the per-block detected
+/// signed precisions and all-zero flags computed at pack time.
+pub(crate) struct WideFilterPlanes {
+    blocks: Vec<WideBitplaneBlock>,
+    precisions: Vec<Precision>,
+    zero: Vec<bool>,
+    blocks_per_filter: usize,
+}
+
+/// Per-worker scratch for the wide convolutional path: the window patch
+/// buffer, the packed activation blocks of the current window group, their
+/// detected precisions and zero flags, and the magnitude-OR fold the
+/// architectural precision detector reads. Built once per worker and reused
+/// across all of its window-group jobs — the "pack arena".
+#[derive(Default)]
+pub(crate) struct ConvArena {
+    patch: Vec<i32>,
+    acts: Vec<WideBitplaneBlock>,
+    act_pa: Vec<Precision>,
+    act_zero: Vec<bool>,
+    fold: Vec<u64>,
+}
+
+/// Everything a wide convolutional window-group job needs, shared read-only
+/// across the worker pool (and across batch items — the weight planes are
+/// packed once per layer).
+pub(crate) struct WideConvJob<'a> {
+    spec: &'a ConvSpec,
+    input: &'a Tensor3,
+    filters: &'a WideFilterPlanes,
+    pa: Precision,
+    pw: Precision,
+    activations_signed: bool,
+    detection: bool,
+    cols: usize,
+    rows: usize,
+    sip_lanes: usize,
+    b: u64,
+    out_w: usize,
+    windows: usize,
+    group_in: usize,
+    group_out: usize,
+    wpf: usize,
+    sip_chunks: usize,
+    wide_blocks: usize,
+}
+
+impl WideConvJob<'_> {
+    /// Number of independent window-group tasks this layer fans out.
+    pub(crate) fn group_count(&self) -> usize {
+        self.windows.div_ceil(self.cols)
+    }
+
+    /// The convolution's total window count (for merging).
+    pub(crate) fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// The convolution's filter count (for merging).
+    pub(crate) fn filters(&self) -> usize {
+        self.spec.filters
+    }
+
+    /// Runs window group `group_idx`: extract each window's patch into the
+    /// arena, pack it into wide blocks (once per window per layer), fold the
+    /// magnitude planes for the architectural detector, account cycles per
+    /// `sip_lanes` chunk exactly as the serial model does, then evaluate the
+    /// products filters-outer / plane-inner.
+    pub(crate) fn run_group(&self, arena: &mut ConvArena, group_idx: usize) -> WindowGroupRun {
+        let window_base = group_idx * self.cols;
+        let window_count = self.cols.min(self.windows - window_base);
+        let bpp = self.wide_blocks;
+        let conv_groups = self.spec.groups;
+        let fold_words = bpp * WIDE_WORDS;
+
+        arena
+            .acts
+            .resize(window_count * conv_groups * bpp, WideBitplaneBlock::EMPTY);
+        arena
+            .act_pa
+            .resize(window_count * conv_groups * bpp, Precision::FULL);
+        arena
+            .act_zero
+            .resize(window_count * conv_groups * bpp, false);
+        if self.detection {
+            arena.fold.clear();
+            arena
+                .fold
+                .resize(usize::from(MAX_PRECISION) * fold_words, 0);
+        }
+
+        // Pack every (window, conv-group) patch into wide blocks — each
+        // window is packed exactly once per layer, into storage the worker
+        // reuses across its jobs.
+        for col in 0..window_count {
+            let w = window_base + col;
+            let (oy, ox) = (w / self.out_w, w % self.out_w);
+            for g in 0..conv_groups {
+                arena.patch.clear();
+                window_patch_into(
+                    self.spec,
+                    self.input,
+                    oy,
+                    ox,
+                    g * self.group_in,
+                    self.group_in,
+                    &mut arena.patch,
+                );
+                for blk in 0..bpp {
+                    let base = blk * WIDE_LANES;
+                    let count = WIDE_LANES.min(self.wpf - base);
+                    let idx = (col * conv_groups + g) * bpp + blk;
+                    arena.acts[idx].pack_into(&arena.patch[base..base + count]);
+                    let block = &arena.acts[idx];
+                    arena.act_pa[idx] = block.detected_precision(self.activations_signed);
+                    arena.act_zero[idx] = block.is_zero();
+                    // The architectural detector ORs the magnitude planes of
+                    // everything the SIP columns consume concurrently.
+                    if self.detection && g == 0 {
+                        for bit in 0..MAX_PRECISION {
+                            let words = block.magnitude_words(bit);
+                            let row = usize::from(bit) * fold_words + blk * WIDE_WORDS;
+                            for (w, &m) in words.iter().enumerate() {
+                                arena.fold[row + w] |= m;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle accounting per `sip_lanes` chunk — the block occupies the SIP
+        // array for Pw × ceil(Pa_detected / b) cycles regardless of the
+        // arithmetic vectorisation, so this is exactly the serial model's
+        // count. Grouped convolutions interleave channel ranges per filter
+        // group, so detection is skipped for them (a conservative
+        // simplification; AlexNet's grouped layers still benefit from their
+        // static profile precisions).
+        let filter_groups = self.spec.filters.div_ceil(self.rows) as u64;
+        let mut cycles = 0u64;
+        let mut reduced_groups = 0u64;
+        for chunk in 0..self.sip_chunks {
+            let lane_base = chunk * self.sip_lanes;
+            let lane_count = self.sip_lanes.min(self.wpf - lane_base);
+            let effective_pa = if self.detection {
+                let detected = detect_fold_range(
+                    &arena.fold,
+                    fold_words,
+                    lane_base,
+                    lane_base + lane_count,
+                    self.activations_signed,
+                )
+                .min(self.pa);
+                if detected < self.pa {
+                    reduced_groups += 1;
+                }
+                detected
+            } else {
+                self.pa
+            };
+            cycles += filter_groups * self.pw.bits_u64() * effective_pa.bits_u64().div_ceil(self.b);
+        }
+
+        // Products, filters-outer: one filter's weight blocks stay in
+        // registers/L1 while the group's activation blocks stream. Inner
+        // products run at the *detected* per-block precisions — every skipped
+        // plane is zero or sign extension, so the narrower schedule is
+        // bit-identical (and all-zero blocks are skipped outright).
+        let mut outputs = vec![0i64; self.spec.filters * window_count];
+        for k in 0..self.spec.filters {
+            let g = k / self.group_out;
+            let wbase = k * bpp;
+            for col in 0..window_count {
+                let abase = (col * conv_groups + g) * bpp;
+                let mut acc = 0i64;
+                for blk in 0..bpp {
+                    if self.filters.zero[wbase + blk] || arena.act_zero[abase + blk] {
+                        continue;
+                    }
+                    acc += wide_inner_product(
+                        &self.filters.blocks[wbase + blk],
+                        &arena.acts[abase + blk],
+                        self.filters.precisions[wbase + blk],
+                        arena.act_pa[abase + blk],
+                        true,
+                        self.activations_signed,
+                    );
+                }
+                outputs[k * window_count + col] = acc;
+            }
+        }
+        WindowGroupRun {
+            window_base,
+            window_count,
+            outputs,
+            cycles,
+            reduced_groups,
+        }
+    }
+}
+
+/// Returns `true` when any bit of `fold`'s plane `bit` is set in the lane
+/// range `[lo, hi)` — lane ranges may straddle word boundaries (the SIP chunk
+/// width need not divide 64).
+fn fold_range_has_bit(fold: &[u64], fold_words: usize, bit: usize, lo: usize, hi: usize) -> bool {
+    let row = &fold[bit * fold_words..(bit + 1) * fold_words];
+    let (w0, w1) = (lo / 64, (hi - 1) / 64);
+    for (w, &value) in row.iter().enumerate().take(w1 + 1).skip(w0) {
+        let mut word = value;
+        if w == w0 {
+            word &= !0u64 << (lo % 64);
+        }
+        if w == w1 {
+            let top = (hi - 1) % 64;
+            if top < 63 {
+                word &= (1u64 << (top + 1)) - 1;
+            }
+        }
+        if word != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// The wide image of [`MagnitudeOr::detected_precision`] over a lane range of
+/// the fold: the highest non-empty magnitude plane, plus the sign bit for
+/// signed operands.
+fn detect_fold_range(
+    fold: &[u64],
+    fold_words: usize,
+    lo: usize,
+    hi: usize,
+    signed: bool,
+) -> Precision {
+    let highest = (0..usize::from(MAX_PRECISION))
+        .rev()
+        .find(|&bit| fold_range_has_bit(fold, fold_words, bit, lo, hi));
+    match highest {
+        None => Precision::saturating(1),
+        Some(bit) => Precision::saturating(bit as u8 + if signed { 2 } else { 1 }),
+    }
+}
+
+/// Output rows per fully-connected task: small enough that even modest
+/// layers fan across a worker pool, large enough that one task amortises its
+/// row packing.
+const FC_ROW_TASK: usize = 64;
+
+/// Per-worker scratch for the wide fully-connected path: one output row's
+/// packed weight blocks, reused across every row the worker evaluates.
+#[derive(Default)]
+pub(crate) struct FcArena {
+    blocks: Vec<WideBitplaneBlock>,
+    pw: Vec<Precision>,
+    zero: Vec<bool>,
+}
+
+/// One item's fully-connected input, packed once into wide blocks.
+struct FcPackedInput {
+    blocks: Vec<WideBitplaneBlock>,
+    pa: Vec<Precision>,
+    zero: Vec<bool>,
+}
+
+/// A fully-connected layer over one or more batch items on the wide
+/// datapath. Inputs are packed once per item up front; weight rows are packed
+/// once per *task* and applied to every item, so a batch shares the entire
+/// row transpose. Tasks are disjoint output-row groups — the granularity the
+/// network engine fans across its pool.
+pub(crate) struct WideFcJob<'a> {
+    spec: &'a FcSpec,
+    weights: &'a [i32],
+    pw: Precision,
+    chunks: usize,
+    items: Vec<FcPackedInput>,
+}
+
+impl<'a> WideFcJob<'a> {
+    /// Packs every item's input activations into wide blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input or the weight slice does not match the spec.
+    pub(crate) fn new(
+        spec: &'a FcSpec,
+        inputs: &[&[i32]],
+        weights: &'a [i32],
+        pw: Precision,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.in_features * spec.out_features,
+            "weight length mismatch"
+        );
+        let chunks = spec.in_features.div_ceil(WIDE_LANES);
+        let items = inputs
+            .iter()
+            .map(|input| {
+                assert_eq!(input.len(), spec.in_features, "input length mismatch");
+                let mut blocks = Vec::with_capacity(chunks);
+                let mut pa = Vec::with_capacity(chunks);
+                let mut zero = Vec::with_capacity(chunks);
+                for chunk in 0..chunks {
+                    let base = chunk * WIDE_LANES;
+                    let count = WIDE_LANES.min(spec.in_features - base);
+                    let block = WideBitplaneBlock::pack(&input[base..base + count]);
+                    pa.push(block.detected_precision(true));
+                    zero.push(block.is_zero());
+                    blocks.push(block);
+                }
+                FcPackedInput { blocks, pa, zero }
+            })
+            .collect();
+        WideFcJob {
+            spec,
+            weights,
+            pw,
+            chunks,
+            items,
+        }
+    }
+
+    /// Number of batch items the job covers.
+    pub(crate) fn items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of independent output-row tasks.
+    pub(crate) fn row_group_count(&self) -> usize {
+        self.spec.out_features.div_ceil(FC_ROW_TASK)
+    }
+
+    /// Evaluates output rows `[g * 64, …)` for every item. The result is
+    /// row-major (`rows × items`): `out[(r - r0) * items + item]`.
+    pub(crate) fn run_rows(&self, arena: &mut FcArena, g: usize) -> Vec<i64> {
+        let r0 = g * FC_ROW_TASK;
+        let r1 = (r0 + FC_ROW_TASK).min(self.spec.out_features);
+        let items = self.items.len();
+        let mut out = vec![0i64; (r1 - r0) * items];
+        arena.blocks.resize(self.chunks, WideBitplaneBlock::EMPTY);
+        arena.pw.resize(self.chunks, Precision::FULL);
+        arena.zero.resize(self.chunks, false);
+        for r in r0..r1 {
+            let row = &self.weights[r * self.spec.in_features..(r + 1) * self.spec.in_features];
+            for chunk in 0..self.chunks {
+                let base = chunk * WIDE_LANES;
+                let count = WIDE_LANES.min(self.spec.in_features - base);
+                arena.blocks[chunk].pack_into(&row[base..base + count]);
+                arena.pw[chunk] = arena.blocks[chunk].detected_precision(true);
+                arena.zero[chunk] = arena.blocks[chunk].is_zero();
+            }
+            for (item, input) in self.items.iter().enumerate() {
+                let mut acc = 0i64;
+                for chunk in 0..self.chunks {
+                    if arena.zero[chunk] || input.zero[chunk] {
+                        continue;
+                    }
+                    acc += wide_inner_product(
+                        &arena.blocks[chunk],
+                        &input.blocks[chunk],
+                        arena.pw[chunk].min(self.pw),
+                        input.pa[chunk],
+                        true,
+                        true,
+                    );
+                }
+                out[(r - r0) * items + item] = acc;
+            }
+        }
+        out
+    }
+}
+
+/// Everything a legacy (64-lane / bit-serial) convolutional window-group job
+/// needs, shared read-only across the worker pool.
 struct ConvContext<'a> {
     engine: &'a FunctionalLoom,
     spec: &'a ConvSpec,
@@ -361,7 +895,7 @@ struct ConvContext<'a> {
 /// One window group's finished partial results: the outputs for its disjoint
 /// window range (filter-major, `filters x window_count`) plus its cycle and
 /// reduced-group contributions.
-struct WindowGroupRun {
+pub(crate) struct WindowGroupRun {
     window_base: usize,
     window_count: usize,
     outputs: Vec<i64>,
@@ -455,17 +989,17 @@ impl ConvContext<'_> {
                 let group = k / self.group_out;
                 for col in 0..window_count {
                     let dot = match self.engine.kernel {
-                        SipKernel::Packed => packed_inner_product(
-                            &self.packed_filters[k][chunk],
-                            &packed_acts[col][group],
+                        SipKernel::BitSerial => serial_inner_product(
+                            &self.weights.filter(k)[lane_base..lane_base + lane_count],
+                            &patches[col][group][lane_base..lane_base + lane_count],
                             self.pw,
                             effective_pa,
                             true,
                             self.activations_signed,
                         ),
-                        SipKernel::BitSerial => serial_inner_product(
-                            &self.weights.filter(k)[lane_base..lane_base + lane_count],
-                            &patches[col][group][lane_base..lane_base + lane_count],
+                        _ => packed_inner_product(
+                            &self.packed_filters[k][chunk],
+                            &packed_acts[col][group],
                             self.pw,
                             effective_pa,
                             true,
@@ -547,6 +1081,45 @@ mod tests {
         let run = engine.run_conv(&spec, &input, &weights, pa, pw);
         assert_eq!(run.outputs, conv_forward(&spec, &input, &weights));
         assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn all_three_kernels_produce_identical_runs() {
+        let spec = ConvSpec {
+            padding: 1,
+            ..ConvSpec::simple(3, 7, 7, 6, 3)
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let pa = Precision::new(8).unwrap();
+        let pw = Precision::new(6).unwrap();
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            synthetic_activations(
+                &mut rng,
+                spec.input_shape().len(),
+                pa,
+                ValueDistribution::activations(),
+            ),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            spec.weight_shape(),
+            synthetic_weights(
+                &mut rng,
+                spec.weight_shape().len(),
+                pw,
+                ValueDistribution::weights(),
+            ),
+        )
+        .unwrap();
+        let engine = FunctionalLoom::new(small_geometry());
+        let wide = engine.run_conv(&spec, &input, &weights, pa, pw);
+        for kernel in [SipKernel::Packed, SipKernel::BitSerial] {
+            let other = engine
+                .with_kernel(kernel)
+                .run_conv(&spec, &input, &weights, pa, pw);
+            assert_eq!(wide, other, "{kernel:?}");
+        }
     }
 
     #[test]
@@ -639,6 +1212,39 @@ mod tests {
         let run = engine.run_fc(&spec, &input, &weights, pw);
         assert_eq!(run.outputs, fc_forward(&spec, &input, &weights));
         assert!(run.cycles > 0);
+        // All kernels agree, including on a wide layer spanning several
+        // 256-lane chunks.
+        for kernel in [SipKernel::Packed, SipKernel::BitSerial] {
+            assert_eq!(
+                engine
+                    .with_kernel(kernel)
+                    .run_fc(&spec, &input, &weights, pw),
+                run,
+                "{kernel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fc_threads_do_not_change_results() {
+        let spec = FcSpec::new(300, 170);
+        let mut rng = StdRng::seed_from_u64(123);
+        let pw = Precision::new(7).unwrap();
+        let input = synthetic_activations(
+            &mut rng,
+            300,
+            Precision::new(8).unwrap(),
+            ValueDistribution::activations(),
+        );
+        let weights = synthetic_weights(&mut rng, 300 * 170, pw, ValueDistribution::weights());
+        let serial = FunctionalLoom::new(small_geometry()).run_fc(&spec, &input, &weights, pw);
+        assert_eq!(serial.outputs, fc_forward(&spec, &input, &weights));
+        for threads in [2, 5] {
+            let parallel = FunctionalLoom::new(small_geometry())
+                .with_threads(threads)
+                .run_fc(&spec, &input, &weights, pw);
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! The Loom bit-serial engine: functional SIP model, the packed
-//! bitplane/popcount datapath, the functional layer engine and its batched
-//! whole-network driver, and the analytic schedules for convolutional and
-//! fully-connected layers.
+//! The Loom bit-serial engine: functional SIP model, the packed bitplane /
+//! popcount datapaths (64-lane single-word and 256-lane SIMD-wide), the
+//! functional layer engine and its batched whole-network driver, and the
+//! analytic schedules for convolutional and fully-connected layers.
 
 pub mod functional;
 pub mod network;
@@ -9,6 +9,7 @@ pub mod packed;
 pub(crate) mod parallel;
 pub mod schedule;
 pub mod sip;
+pub mod wide;
 
 pub use functional::{FunctionalLoom, FunctionalRun, SipKernel};
 pub use network::{NetworkEngine, NetworkRun};
@@ -17,3 +18,4 @@ pub use packed::{
 };
 pub use schedule::{conv_schedule, fc_schedule, ScheduleResult};
 pub use sip::{reference_inner_product, serial_inner_product, Sip};
+pub use wide::{wide_inner_product, wide_inner_product_slices, WideBitplaneBlock, WIDE_LANES};

@@ -9,9 +9,14 @@
 //! pooling and concatenation are literally the same code on both paths and
 //! the traces must be bit-identical if (and only if) the inner products are.
 //!
-//! Parallelism follows the sweep runner's scoped-thread worker-queue pattern
-//! and is deterministic at any thread count: batches fan across items, and
-//! leftover threads fan each convolution's window groups.
+//! Execution is *lock-step* across the batch
+//! ([`LayerGraph::run_batch_with`]): every node runs for all items before the
+//! schedule advances, so a convolution's weight planes are packed **once per
+//! batch** and the worker pool is fed fine-grained (item × window-group)
+//! tasks — not whole batch items — which keeps all threads busy even when
+//! the batch is smaller than the pool. Merging follows the sweep runner's
+//! ordered worker-queue pattern, so results are deterministic at any thread
+//! count.
 //!
 //! # Examples
 //!
@@ -59,7 +64,9 @@
 //! ```
 
 use crate::config::LoomGeometry;
-use crate::loom::functional::{FunctionalLoom, SipKernel};
+use crate::loom::functional::{
+    merge_window_groups, ConvArena, FcArena, FunctionalLoom, SipKernel, WideFcJob,
+};
 use crate::loom::parallel;
 use loom_model::fixed::required_precision;
 use loom_model::graph::{GraphCompute, LayerGraph};
@@ -88,7 +95,7 @@ pub struct NetworkEngine {
 
 impl NetworkEngine {
     /// Creates an engine with the given geometry, dynamic precision
-    /// detection enabled, the packed SIP kernel, and one worker thread.
+    /// detection enabled, the wide SIP kernel, and one worker thread.
     pub fn new(geometry: LoomGeometry) -> Self {
         NetworkEngine {
             engine: FunctionalLoom::new(geometry),
@@ -96,17 +103,17 @@ impl NetworkEngine {
         }
     }
 
-    /// Sets the worker-thread budget (clamped to at least 1).
-    /// [`NetworkEngine::run_batch`] spends it on batch items first and gives
-    /// what is left over to each item's convolutional window groups;
-    /// [`NetworkEngine::run`] gives all of it to window groups. Results are
-    /// bit-identical at any thread count.
+    /// Sets the worker-thread budget (clamped to at least 1). Every
+    /// convolution fans (batch item × window group) tasks — and every
+    /// fully-connected layer (output-row group) tasks — across one pool of
+    /// this size, so the pool stays busy even when the batch is smaller than
+    /// the thread count. Results are bit-identical at any thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 
-    /// Selects the SIP kernel (packed by default).
+    /// Selects the SIP kernel (wide by default).
     pub fn with_kernel(mut self, kernel: SipKernel) -> Self {
         self.engine = self.engine.with_kernel(kernel);
         self
@@ -129,7 +136,8 @@ impl NetworkEngine {
     }
 
     /// Runs one input through the graph on the bit-serial datapath, with the
-    /// full thread budget fanned across each convolution's window groups.
+    /// full thread budget fanned across each layer's window / output-row
+    /// groups. Exactly [`NetworkEngine::run_batch`] with a batch of one.
     ///
     /// Per-layer precisions are taken from the data itself
     /// ([`required_precision`] of the layer's input activations and weights),
@@ -146,27 +154,22 @@ impl NetworkEngine {
         input: &Tensor3,
         options: InferenceOptions,
     ) -> Result<NetworkRun, InferenceError> {
-        let mut backend = FunctionalCompute {
-            engine: self.engine.with_threads(self.threads),
-            cycles: 0,
-            reduced_groups: 0,
-        };
-        let trace = graph.run_with(params, input, options, &[], &mut backend)?;
-        Ok(NetworkRun {
-            trace,
-            cycles: backend.cycles,
-            reduced_groups: backend.reduced_groups,
-        })
+        Ok(self
+            .run_batch(graph, params, std::slice::from_ref(input), options)?
+            .pop()
+            .expect("one run per input"))
     }
 
-    /// Runs every input through the graph, fanning the batch across the
-    /// worker pool. Each item is an independent forward pass, so the results
-    /// are bit-identical to N calls of [`NetworkEngine::run`] — and to the
-    /// golden [`LayerGraph::run_batch`] — regardless of thread count.
+    /// Runs every input through the graph, lock-step: each layer's weight
+    /// planes are packed once for the whole batch, and the worker pool
+    /// processes (item × window-group) convolution tasks and (output-row
+    /// group) fully-connected tasks. Each item's result is bit-identical to
+    /// [`NetworkEngine::run`] on that input — and to the golden
+    /// [`LayerGraph::run_batch`] — regardless of thread count.
     ///
     /// # Errors
     ///
-    /// The first per-item error in batch order, as [`NetworkEngine::run`].
+    /// The first error in (schedule, item) order, as [`NetworkEngine::run`].
     pub fn run_batch(
         &self,
         graph: &LayerGraph,
@@ -174,27 +177,45 @@ impl NetworkEngine {
         inputs: &[Tensor3],
         options: InferenceOptions,
     ) -> Result<Vec<NetworkRun>, InferenceError> {
-        let item_workers = self.threads.min(inputs.len()).max(1);
-        // Threads not absorbed by batch items go to window groups: a batch of
-        // 2 on 8 threads runs 2 items x 4-way window parallelism.
-        let per_item = NetworkEngine {
+        let mut backend = FunctionalCompute {
             engine: self.engine,
-            threads: (self.threads / item_workers).max(1),
+            threads: self.threads,
+            cycles: vec![0; inputs.len()],
+            reduced_groups: vec![0; inputs.len()],
         };
-        parallel::ordered_map(item_workers, inputs.len(), |i| {
-            per_item.run(graph, params, &inputs[i], options)
-        })
-        .into_iter()
-        .collect()
+        let traces = graph.run_batch_with(params, inputs, options, &[], &mut backend)?;
+        Ok(traces
+            .into_iter()
+            .zip(backend.cycles)
+            .zip(backend.reduced_groups)
+            .map(|((trace, cycles), reduced_groups)| NetworkRun {
+                trace,
+                cycles,
+                reduced_groups,
+            })
+            .collect())
     }
 }
 
 /// The functional Loom engine as a [`GraphCompute`] backend: bit-serial inner
-/// products plus cycle and reduced-group accounting.
+/// products plus per-item cycle and reduced-group accounting. The batch entry
+/// points pack each layer's weight planes once and fan fine-grained tasks
+/// across the worker pool; the single-item entry points exist for callers
+/// driving [`LayerGraph::run_with`] directly.
 struct FunctionalCompute {
     engine: FunctionalLoom,
-    cycles: u64,
-    reduced_groups: u64,
+    threads: usize,
+    cycles: Vec<u64>,
+    reduced_groups: Vec<u64>,
+}
+
+impl FunctionalCompute {
+    fn ensure_items(&mut self, items: usize) {
+        if self.cycles.len() < items {
+            self.cycles.resize(items, 0);
+            self.reduced_groups.resize(items, 0);
+        }
+    }
 }
 
 impl GraphCompute for FunctionalCompute {
@@ -205,20 +226,143 @@ impl GraphCompute for FunctionalCompute {
         input: &Tensor3,
         weights: &Tensor4,
     ) -> Vec<i64> {
+        self.ensure_items(1);
         let pa = required_precision(input.as_slice());
         let pw = required_precision(weights.as_slice());
-        let run = self.engine.run_conv(spec, input, weights, pa, pw);
-        self.cycles += run.cycles;
-        self.reduced_groups += run.reduced_groups;
+        let run = self
+            .engine
+            .with_threads(self.threads)
+            .run_conv(spec, input, weights, pa, pw);
+        self.cycles[0] += run.cycles;
+        self.reduced_groups[0] += run.reduced_groups;
         run.outputs
     }
 
     fn fc(&mut self, _layer: &str, spec: &FcSpec, input: &[i32], weights: &[i32]) -> Vec<i64> {
+        self.ensure_items(1);
         let pw = required_precision(weights);
-        let run = self.engine.run_fc(spec, input, weights, pw);
-        self.cycles += run.cycles;
-        self.reduced_groups += run.reduced_groups;
+        let run = self
+            .engine
+            .with_threads(self.threads)
+            .run_fc(spec, input, weights, pw);
+        self.cycles[0] += run.cycles;
+        self.reduced_groups[0] += run.reduced_groups;
         run.outputs
+    }
+
+    fn conv_batch(
+        &mut self,
+        _layer: &str,
+        spec: &ConvSpec,
+        inputs: &[Tensor3],
+        weights: &Tensor4,
+    ) -> Vec<Vec<i64>> {
+        self.ensure_items(inputs.len());
+        let pw = required_precision(weights.as_slice());
+        if self.engine.kernel != SipKernel::Wide {
+            // Legacy kernels exist for cross-checks only: fan batch items
+            // across the pool and give leftover threads to window groups,
+            // as the pre-lock-step engine did.
+            let item_workers = self.threads.min(inputs.len()).max(1);
+            let per_item = self
+                .engine
+                .with_threads((self.threads / item_workers).max(1));
+            let runs = parallel::ordered_map(item_workers, inputs.len(), |i| {
+                let pa = required_precision(inputs[i].as_slice());
+                per_item.run_conv(spec, &inputs[i], weights, pa, pw)
+            });
+            return runs
+                .into_iter()
+                .enumerate()
+                .map(|(i, run)| {
+                    self.cycles[i] += run.cycles;
+                    self.reduced_groups[i] += run.reduced_groups;
+                    run.outputs
+                })
+                .collect();
+        }
+
+        // Wide path: pack the layer's weight planes once for the whole batch,
+        // then fan (item × window-group) tasks across one pool.
+        let filters = FunctionalLoom::pack_wide_filters(spec, weights);
+        let jobs: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                let pa = required_precision(input.as_slice());
+                self.engine.wide_conv_job(spec, input, &filters, pa, pw)
+            })
+            .collect();
+        let groups_per_item = jobs[0].group_count();
+        let results = parallel::ordered_map_with(
+            self.threads,
+            inputs.len() * groups_per_item,
+            ConvArena::default,
+            |arena, task| jobs[task / groups_per_item].run_group(arena, task % groups_per_item),
+        );
+        let mut results = results.into_iter();
+        jobs.iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let groups: Vec<_> = results.by_ref().take(groups_per_item).collect();
+                let run = merge_window_groups(job.filters(), job.windows(), groups);
+                self.cycles[i] += run.cycles;
+                self.reduced_groups[i] += run.reduced_groups;
+                run.outputs
+            })
+            .collect()
+    }
+
+    fn fc_batch(
+        &mut self,
+        _layer: &str,
+        spec: &FcSpec,
+        inputs: &[Vec<i32>],
+        weights: &[i32],
+    ) -> Vec<Vec<i64>> {
+        self.ensure_items(inputs.len());
+        let pw = required_precision(weights);
+        if self.engine.kernel != SipKernel::Wide {
+            let item_workers = self.threads.min(inputs.len()).max(1);
+            let runs = parallel::ordered_map(item_workers, inputs.len(), |i| {
+                self.engine.run_fc(spec, &inputs[i], weights, pw)
+            });
+            return runs
+                .into_iter()
+                .enumerate()
+                .map(|(i, run)| {
+                    self.cycles[i] += run.cycles;
+                    self.reduced_groups[i] += run.reduced_groups;
+                    run.outputs
+                })
+                .collect();
+        }
+
+        // Wide path: inputs pack once per item, each weight row packs once
+        // for the whole batch, and output-row groups fan across the pool.
+        let item_slices: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let job = WideFcJob::new(spec, &item_slices, weights, pw);
+        let row_chunks = parallel::ordered_map_with(
+            self.threads,
+            job.row_group_count(),
+            FcArena::default,
+            |arena, g| job.run_rows(arena, g),
+        );
+        let items = job.items();
+        let cycles = self.engine.fc_cycles(spec, pw);
+        let mut outputs: Vec<Vec<i64>> = (0..items)
+            .map(|_| Vec::with_capacity(spec.out_features))
+            .collect();
+        for chunk in row_chunks {
+            for row in chunk.chunks_exact(items) {
+                for (item, &value) in row.iter().enumerate() {
+                    outputs[item].push(value);
+                }
+            }
+        }
+        for i in 0..items {
+            self.cycles[i] += cycles;
+        }
+        outputs
     }
 }
 
@@ -313,6 +457,26 @@ mod tests {
                 .run_batch(&graph, &params, &batch, options)
                 .unwrap();
             assert_eq!(parallel, serial);
+        }
+    }
+
+    #[test]
+    fn legacy_kernels_match_the_wide_batch_path() {
+        let graph = branching_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+        let options = InferenceOptions::default();
+        let batch = inputs(2);
+        let wide = NetworkEngine::new(geometry())
+            .with_threads(2)
+            .run_batch(&graph, &params, &batch, options)
+            .unwrap();
+        for kernel in [SipKernel::Packed, SipKernel::BitSerial] {
+            let other = NetworkEngine::new(geometry())
+                .with_threads(2)
+                .with_kernel(kernel)
+                .run_batch(&graph, &params, &batch, options)
+                .unwrap();
+            assert_eq!(other, wide, "{kernel:?}");
         }
     }
 

@@ -1,5 +1,8 @@
 //! The packed SIP datapath: bit planes as words, AND + popcount as the adder
-//! tree.
+//! tree. This is the single-word (64-lane) form; [`super::wide`] widens the
+//! same construction to 256 lanes per block and is what the engine runs by
+//! default — this module stays as the intermediate cross-check tier between
+//! the bit-serial model and the SIMD-wide datapath.
 //!
 //! [`super::sip::serial_inner_product`] models the SIP of Figure 3 one bit ×
 //! one lane at a time, which is faithful but slow. The observation this module
@@ -14,11 +17,14 @@
 //! model. The arithmetic is identical term by term — only the order in which
 //! the one-bit products of a plane pair are summed changes, and integer
 //! addition is associative — so the result is bit-identical by construction
-//! (and pinned so by the property suite in `tests/functional_equivalence.rs`).
+//! (and pinned so by the property suite in `tests/functional_equivalence.rs`,
+//! which covers both block widths, ragged tails, 1–16-bit precisions and all
+//! four signedness combinations).
 //!
 //! [`MagnitudeOr`] gives the dynamic precision detectors the same treatment:
 //! the per-group OR-tree + leading-one detector of the hardware becomes an OR
-//! fold over already-packed planes, with no per-group `Vec` materialised.
+//! fold over already-packed planes, with no per-group `Vec` materialised. The
+//! wide engine reproduces the identical fold over its `[u64; 4]` plane words.
 
 use loom_model::fixed::{bit_plane, sign_plane, Precision, MAX_PRECISION};
 

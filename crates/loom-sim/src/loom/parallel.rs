@@ -3,6 +3,10 @@
 //! workers pull job indices from a shared atomic counter and write results
 //! into per-job slots, so the output order — and therefore every merged
 //! result — is deterministic regardless of thread count or scheduling.
+//!
+//! [`ordered_map_with`] additionally gives every worker a private scratch
+//! state built once per worker (the pack arenas of the wide datapath), so a
+//! worker's jobs reuse the same buffers without any cross-thread sharing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -15,20 +19,37 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    ordered_map_with(threads, jobs, || (), |(), i| f(i))
+}
+
+/// [`ordered_map`] with per-worker scratch state: every worker calls `init`
+/// once and threads the resulting state mutably through each of its jobs.
+/// Results are still returned in job order; the state never influences which
+/// job lands on which worker, so determinism is unaffected.
+pub(crate) fn ordered_map_with<S, R, I, F>(threads: usize, jobs: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        let mut state = init();
+        return (0..jobs).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let result = f(&mut state, i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -54,5 +75,21 @@ mod tests {
         }
         assert_eq!(serial, (0..40).map(|i| i * i).collect::<Vec<_>>());
         assert!(ordered_map(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn ordered_map_with_reuses_worker_state_deterministically() {
+        // The scratch buffer grows per worker, but results only depend on the
+        // job index — identical at every thread count.
+        let run = |threads| {
+            ordered_map_with(threads, 25, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                i + scratch.capacity().min(1) * 100
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "{threads} threads");
+        }
     }
 }

@@ -1,0 +1,665 @@
+//! The SIMD-wide packed SIP datapath: 256 lanes per block, four plane words
+//! wide.
+//!
+//! [`super::packed::BitplaneBlock`] holds one `u64` word per bit plane — at
+//! the paper's 16-lane SIP geometry that leaves 48 of every 64 plane bits
+//! idle. [`WideBitplaneBlock`] widens the block to [`WIDE_LANES`] (256) lanes
+//! held as `[u64; 4]` plane words, so one AND + popcount evaluates sixteen
+//! SIPs' worth of one-bit products at once. The arithmetic schedule is the
+//! same weight-bit outer / activation-bit inner walk as
+//! [`super::sip::serial_inner_product`], with the same two's-complement MSB
+//! negations — only the order in which a plane pair's one-bit products are
+//! summed changes, and integer addition is associative, so the result is
+//! bit-identical to the serial model by construction (pinned by the property
+//! suite in `tests/functional_equivalence.rs` across 1–256 lanes, ragged
+//! tails, 1–16-bit precisions and all four signedness combinations).
+//!
+//! Three kernel tiers are dispatched at runtime on x86-64 and all produce
+//! identical results:
+//!
+//! * **AVX2** — `_mm256_and_si256` + a `vpshufb` nibble-lookup popcount
+//!   (`_mm256_sad_epu8` folds the byte counts into four lane sums that are
+//!   shift-accumulated vector-wide, one horizontal reduction per weight bit).
+//! * **`popcnt`** — four scalar `count_ones` per plane pair, compiled with
+//!   the `popcnt` feature enabled.
+//! * **portable** — the same loop on the baseline target, for non-x86 hosts.
+//!
+//! Packing is dispatched the same way: the AVX2 path transposes eight lanes
+//! per `_mm256_movemask_ps` instead of one bit at a time, and both paths stop
+//! extracting planes at the block's detected magnitude width (every higher
+//! plane of a two's-complement value equals its sign, so those planes are
+//! filled with the sign word directly).
+
+use loom_model::fixed::{Precision, MAX_PRECISION};
+
+/// Lanes per [`WideBitplaneBlock`]: four 64-bit plane words.
+pub const WIDE_LANES: usize = 256;
+
+/// Plane words per block (`WIDE_LANES / 64`).
+pub const WIDE_WORDS: usize = WIDE_LANES / 64;
+
+/// Up to 256 lanes of operands, transposed into `[u64; 4]` words per bit
+/// plane.
+///
+/// Bit `i % 64` of word `i / 64` of [`plane_words`](Self::plane_words)`(b)`
+/// is bit `b` of lane `i`'s two's-complement encoding;
+/// [`sign_words`](Self::sign_words) marks the negative lanes. Lanes beyond
+/// [`lanes`](Self::lanes) pack as zeros and contribute nothing to any inner
+/// product, which is how ragged tails (`lanes % 64 != 0`) are handled.
+///
+/// # Examples
+///
+/// ```
+/// use loom_sim::loom::{wide_inner_product, WideBitplaneBlock};
+/// use loom_sim::loom::reference_inner_product;
+/// use loom_model::fixed::required_precision;
+///
+/// let weights: Vec<i32> = (0..200).map(|i| (i % 17) - 8).collect();
+/// let activations: Vec<i32> = (0..200).map(|i| (i % 23) - 11).collect();
+/// let w = WideBitplaneBlock::pack(&weights);
+/// let a = WideBitplaneBlock::pack(&activations);
+/// let dot = wide_inner_product(
+///     &w,
+///     &a,
+///     required_precision(&weights),
+///     required_precision(&activations),
+///     true,
+///     true,
+/// );
+/// assert_eq!(dot, reference_inner_product(&weights, &activations));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideBitplaneBlock {
+    lanes: usize,
+    planes: [[u64; WIDE_WORDS]; MAX_PRECISION as usize],
+    signs: [u64; WIDE_WORDS],
+}
+
+impl WideBitplaneBlock {
+    /// A block holding no lanes (all planes zero).
+    pub const EMPTY: WideBitplaneBlock = WideBitplaneBlock {
+        lanes: 0,
+        planes: [[0; WIDE_WORDS]; MAX_PRECISION as usize],
+        signs: [0; WIDE_WORDS],
+    };
+
+    /// Transposes `values` into wide bit-plane form.
+    ///
+    /// As with the narrow block, operands must be representable in 16-bit
+    /// two's complement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > 256`.
+    pub fn pack(values: &[i32]) -> Self {
+        let mut block = Self::EMPTY;
+        block.pack_into(values);
+        block
+    }
+
+    /// Re-packs the block in place from `values`, reusing the storage — the
+    /// arena path the conv/FC pipelines use to avoid per-window allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > 256`.
+    pub fn pack_into(&mut self, values: &[i32]) {
+        assert!(
+            values.len() <= WIDE_LANES,
+            "a WideBitplaneBlock holds at most {WIDE_LANES} lanes, got {}",
+            values.len()
+        );
+        *self = Self::EMPTY;
+        self.lanes = values.len();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the `avx2` feature was just detected at runtime.
+                unsafe { pack_avx2(self, values) };
+                return;
+            }
+        }
+        pack_scalar(self, values);
+    }
+
+    /// Number of packed lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The four words holding bit `bit` of every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 16`.
+    pub fn plane_words(&self, bit: u8) -> &[u64; WIDE_WORDS] {
+        &self.planes[usize::from(bit)]
+    }
+
+    /// The four words marking the negative lanes.
+    pub fn sign_words(&self) -> &[u64; WIDE_WORDS] {
+        &self.signs
+    }
+
+    /// The magnitude view of plane `bit` (bit differs from the lane's sign),
+    /// as consumed by the precision detectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 16`.
+    pub fn magnitude_words(&self, bit: u8) -> [u64; WIDE_WORDS] {
+        let plane = &self.planes[usize::from(bit)];
+        std::array::from_fn(|w| plane[w] ^ self.signs[w])
+    }
+
+    /// Whether every packed lane is zero (such a block contributes nothing to
+    /// any inner product, so the engine skips it outright).
+    pub fn is_zero(&self) -> bool {
+        self.signs == [0; WIDE_WORDS] && self.planes.iter().all(|p| *p == [0; WIDE_WORDS])
+    }
+
+    /// The smallest precision covering every packed lane: signed
+    /// two's-complement width when `signed`, magnitude bits otherwise. Equals
+    /// [`loom_model::fixed::required_precision`] /
+    /// [`loom_model::fixed::required_unsigned_precision`] over the same
+    /// values. The engine computes inner products at this width — every
+    /// skipped higher plane is either all zeros or pure sign extension, and
+    /// the narrower schedule is exactly what the serial model produces at the
+    /// same precision.
+    pub fn detected_precision(&self, signed: bool) -> Precision {
+        let highest = (0..MAX_PRECISION)
+            .rev()
+            .find(|&bit| self.magnitude_words(bit) != [0; WIDE_WORDS]);
+        match highest {
+            None => Precision::saturating(1),
+            Some(bit) => Precision::saturating(bit + if signed { 2 } else { 1 }),
+        }
+    }
+
+    /// Reconstructs the packed values (inverse of [`pack`](Self::pack) for
+    /// operands representable in 16-bit two's complement).
+    pub fn unpack(&self) -> Vec<i32> {
+        (0..self.lanes)
+            .map(|lane| {
+                let (word, bit) = (lane / 64, lane % 64);
+                let mut v: u32 = 0;
+                for plane in 0..MAX_PRECISION {
+                    v |= ((self.planes[usize::from(plane)][word] >> bit & 1) as u32) << plane;
+                }
+                if self.signs[word] >> bit & 1 == 1 {
+                    v |= !0u32 << MAX_PRECISION;
+                }
+                v as i32
+            })
+            .collect()
+    }
+}
+
+/// Plane extraction cutoff: the widest magnitude (sign-excluded) bit count of
+/// any value in the slice. Every plane at or above the cutoff equals the sign
+/// plane, so packers fill those planes from the sign words instead of
+/// extracting them.
+fn magnitude_cutoff(values: &[i32]) -> usize {
+    let mut fold: u32 = 0;
+    for &v in values {
+        fold |= (v ^ (v >> 31)) as u32;
+    }
+    ((32 - fold.leading_zeros()) as usize).min(usize::from(MAX_PRECISION))
+}
+
+/// Portable bit-by-bit transpose.
+fn pack_scalar(block: &mut WideBitplaneBlock, values: &[i32]) {
+    let cutoff = magnitude_cutoff(values);
+    for (lane, &v) in values.iter().enumerate() {
+        let (word, bit) = (lane / 64, lane % 64);
+        let u = v as u32;
+        for plane in 0..cutoff {
+            block.planes[plane][word] |= u64::from(u >> plane & 1) << bit;
+        }
+        block.signs[word] |= u64::from(v < 0) << bit;
+    }
+    for plane in cutoff..usize::from(MAX_PRECISION) {
+        block.planes[plane] = block.signs;
+    }
+}
+
+/// AVX2 transpose: eight lanes at a time via `_mm256_movemask_ps`, which
+/// collects the sign bit of each 32-bit lane — shifting the target bit into
+/// the sign position turns one movemask into eight transposed plane bits.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pack_avx2(block: &mut WideBitplaneBlock, values: &[i32]) {
+    use std::arch::x86_64::*;
+    let cutoff = magnitude_cutoff(values);
+    let mut chunk = 0usize;
+    while chunk * 8 < values.len() {
+        let base = chunk * 8;
+        let v = if base + 8 <= values.len() {
+            _mm256_loadu_si256(values.as_ptr().add(base).cast())
+        } else {
+            // Ragged tail: zero lanes pack as zeros, contributing nothing.
+            let mut tail = [0i32; 8];
+            tail[..values.len() - base].copy_from_slice(&values[base..]);
+            _mm256_loadu_si256(tail.as_ptr().cast())
+        };
+        let (word, bit) = (base / 64, base % 64);
+        block.signs[word] |= u64::from(_mm256_movemask_ps(_mm256_castsi256_ps(v)) as u32) << bit;
+        for plane in 0..cutoff {
+            let shifted = _mm256_sll_epi32(v, _mm_cvtsi32_si128((31 - plane) as i32));
+            let bits = _mm256_movemask_ps(_mm256_castsi256_ps(shifted)) as u32;
+            block.planes[plane][word] |= u64::from(bits) << bit;
+        }
+        chunk += 1;
+    }
+    for plane in cutoff..usize::from(MAX_PRECISION) {
+        block.planes[plane] = block.signs;
+    }
+}
+
+/// The wide plane-pair loop shared by the portable and `popcnt` entry points:
+/// the exact schedule of the narrow block's `product_core`, with each plane
+/// pair evaluated as four AND + popcount word operations.
+#[inline(always)]
+fn wide_product_core(
+    w: &WideBitplaneBlock,
+    a: &WideBitplaneBlock,
+    pw: usize,
+    pa: usize,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    let pa_msb = pa - 1;
+    let mut or_register = 0i64;
+    for wb in 0..pw {
+        let wp = &w.planes[wb];
+        let mut acc1 = 0i64;
+        for (ab, ap) in a.planes[..pa].iter().enumerate() {
+            let count = (wp[0] & ap[0]).count_ones()
+                + (wp[1] & ap[1]).count_ones()
+                + (wp[2] & ap[2]).count_ones()
+                + (wp[3] & ap[3]).count_ones();
+            acc1 += i64::from(count) << ab;
+        }
+        if activations_signed {
+            let ap = &a.planes[pa_msb];
+            let count = (wp[0] & ap[0]).count_ones()
+                + (wp[1] & ap[1]).count_ones()
+                + (wp[2] & ap[2]).count_ones()
+                + (wp[3] & ap[3]).count_ones();
+            acc1 -= i64::from(count) << (pa_msb + 1);
+        }
+        if weights_signed && wb == pw - 1 {
+            acc1 = -acc1;
+        }
+        or_register += acc1 << wb;
+    }
+    or_register
+}
+
+/// [`wide_product_core`] compiled with the `popcnt` instruction enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn wide_product_popcnt(
+    w: &WideBitplaneBlock,
+    a: &WideBitplaneBlock,
+    pw: usize,
+    pa: usize,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    wide_product_core(w, a, pw, pa, weights_signed, activations_signed)
+}
+
+/// Sums the four `u64` lanes of an AVX2 register.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn hsum_epi64(v: std::arch::x86_64::__m256i) -> i64 {
+    use std::arch::x86_64::*;
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256::<1>(v);
+    let sum = _mm_add_epi64(lo, hi);
+    _mm_cvtsi128_si64(_mm_add_epi64(sum, _mm_unpackhi_epi64(sum, sum)))
+}
+
+/// AVX2 kernel: one 256-bit AND per plane pair, `vpshufb` nibble-lookup
+/// popcount, and `_mm256_sad_epu8` byte folding. The four per-lane sums are
+/// shift-accumulated vector-wide across activation planes *and* weight bits,
+/// so a whole product pays only a handful of horizontal reductions at the
+/// end (one per MSB-negation class).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn wide_product_avx2(
+    w: &WideBitplaneBlock,
+    a: &WideBitplaneBlock,
+    pw: usize,
+    pa: usize,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    use std::arch::x86_64::*;
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    // Nibble-lookup popcount of `wp & ap` as per-byte counts (each ≤ 8). The
+    // weight plane is pre-split into nibble halves once per weight bit
+    // (`wp_lo` has high nibbles zeroed, so `wp_lo & ap` *is* the AND's low
+    // nibbles), leaving one AND + shift + AND + two lookups per pair.
+    macro_rules! pair_counts {
+        ($wp_lo:expr, $wp_hi:expr, $ap:expr) => {{
+            let ap = _mm256_loadu_si256($ap.as_ptr().cast());
+            let lo = _mm256_and_si256($wp_lo, ap);
+            let hi = _mm256_and_si256($wp_hi, _mm256_srli_epi32::<4>(ap));
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi))
+        }};
+    }
+    let mut shifts = [_mm_setzero_si128(); MAX_PRECISION as usize];
+    for (bit, shift) in shifts.iter_mut().enumerate() {
+        *shift = _mm_cvtsi32_si128(bit as i32);
+    }
+    let pa_msb = pa - 1;
+    // Everything accumulates in u64 vector lanes until one horizontal
+    // reduction per accumulator at the very end; the weight-MSB plane (which
+    // two's complement subtracts) and the activation-MSB corrections keep
+    // their own accumulators so the negations apply after the reduction. The
+    // bounds are comfortable: a lane's per-weight-bit sum is at most
+    // 4 groups × 960 ≪ 2^13, shifted by ≤ 15 and summed over ≤ 16 weight
+    // bits — under 2^42.
+    let mut body = zero;
+    let mut body_msb = zero;
+    let mut wmsb = zero;
+    let mut wmsb_msb = zero;
+    let w_last = if weights_signed { pw - 1 } else { pw };
+    for wb in 0..pw {
+        let wp = _mm256_loadu_si256(w.planes[wb].as_ptr().cast());
+        let wp_lo = _mm256_and_si256(wp, low_mask);
+        let wp_hi = _mm256_and_si256(_mm256_srli_epi32::<4>(wp), low_mask);
+        let mut acc = zero;
+        let mut ab = 0usize;
+        // Four activation planes share one `sad`: their byte counts combine
+        // as c0 + 2·c1 + 4·c2 + 8·c3 (≤ 120, well inside a byte), so the
+        // shift-accumulate collapses to one fold per four planes.
+        while ab + 3 < pa {
+            let c0 = pair_counts!(wp_lo, wp_hi, a.planes[ab]);
+            let c1 = pair_counts!(wp_lo, wp_hi, a.planes[ab + 1]);
+            let c2 = pair_counts!(wp_lo, wp_hi, a.planes[ab + 2]);
+            let c3 = pair_counts!(wp_lo, wp_hi, a.planes[ab + 3]);
+            let t = _mm256_add_epi8(_mm256_add_epi8(c3, c3), c2);
+            let t = _mm256_add_epi8(_mm256_add_epi8(t, t), c1);
+            let t = _mm256_add_epi8(_mm256_add_epi8(t, t), c0);
+            let sums = _mm256_sad_epu8(t, zero);
+            acc = _mm256_add_epi64(acc, _mm256_sll_epi64(sums, shifts[ab]));
+            ab += 4;
+        }
+        while ab < pa {
+            let sums = _mm256_sad_epu8(pair_counts!(wp_lo, wp_hi, a.planes[ab]), zero);
+            acc = _mm256_add_epi64(acc, _mm256_sll_epi64(sums, shifts[ab]));
+            ab += 1;
+        }
+        let acc = _mm256_sll_epi64(acc, shifts[wb]);
+        if wb < w_last {
+            body = _mm256_add_epi64(body, acc);
+        } else {
+            wmsb = _mm256_add_epi64(wmsb, acc);
+        }
+        if activations_signed {
+            // The MSB activation plane is subtracted, not added: remove it
+            // twice, exactly as the scalar cores do (recomputed here so the
+            // hot loop stays branch-free).
+            let msb = _mm256_sll_epi64(
+                _mm256_sad_epu8(pair_counts!(wp_lo, wp_hi, a.planes[pa_msb]), zero),
+                shifts[wb],
+            );
+            if wb < w_last {
+                body_msb = _mm256_add_epi64(body_msb, msb);
+            } else {
+                wmsb_msb = _mm256_add_epi64(wmsb_msb, msb);
+            }
+        }
+    }
+    let mut positive = hsum_epi64(body);
+    let mut negated = hsum_epi64(wmsb);
+    if activations_signed {
+        positive -= hsum_epi64(body_msb) << (pa_msb + 1);
+        negated -= hsum_epi64(wmsb_msb) << (pa_msb + 1);
+    }
+    positive - negated
+}
+
+/// Computes the inner product of two wide blocks exactly the way
+/// [`super::sip::serial_inner_product`] does — the same weight-bit outer /
+/// activation-bit inner schedule, the same MSB negations — with each plane
+/// pair evaluated 256 lanes at a time. Dispatches at runtime to the AVX2
+/// kernel, the `popcnt`-enabled scalar kernel, or the portable loop; all
+/// three are bit-identical.
+///
+/// The blocks may have different lane counts: missing lanes pack as zero
+/// planes and contribute nothing.
+pub fn wide_inner_product(
+    weights: &WideBitplaneBlock,
+    activations: &WideBitplaneBlock,
+    pw: Precision,
+    pa: Precision,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    let (pw, pa) = (usize::from(pw.bits()), usize::from(pa.bits()));
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the `avx2` feature was just detected at runtime.
+            return unsafe {
+                wide_product_avx2(
+                    weights,
+                    activations,
+                    pw,
+                    pa,
+                    weights_signed,
+                    activations_signed,
+                )
+            };
+        }
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            // SAFETY: the `popcnt` feature was just detected at runtime.
+            return unsafe {
+                wide_product_popcnt(
+                    weights,
+                    activations,
+                    pw,
+                    pa,
+                    weights_signed,
+                    activations_signed,
+                )
+            };
+        }
+    }
+    wide_product_core(
+        weights,
+        activations,
+        pw,
+        pa,
+        weights_signed,
+        activations_signed,
+    )
+}
+
+/// Convenience wrapper: packs both slices and takes their
+/// [`wide_inner_product`]. Use the block form to amortise packing when an
+/// operand is reused.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or more than 256 lanes.
+pub fn wide_inner_product_slices(
+    weights: &[i32],
+    activations: &[i32],
+    pw: Precision,
+    pa: Precision,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    assert_eq!(
+        weights.len(),
+        activations.len(),
+        "weights and activations must pair up lane by lane"
+    );
+    wide_inner_product(
+        &WideBitplaneBlock::pack(weights),
+        &WideBitplaneBlock::pack(activations),
+        pw,
+        pa,
+        weights_signed,
+        activations_signed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loom::packed::BitplaneBlock;
+    use crate::loom::sip::{reference_inner_product, serial_inner_product};
+    use loom_model::fixed::{required_precision, required_unsigned_precision};
+
+    fn ragged_values(n: usize) -> Vec<i32> {
+        (0..n).map(|i| (i as i32 * 977) % 30000 - 15000).collect()
+    }
+
+    #[test]
+    fn pack_roundtrips_across_word_boundaries() {
+        for lanes in [0, 1, 63, 64, 65, 127, 128, 200, 255, 256] {
+            let values = ragged_values(lanes);
+            let block = WideBitplaneBlock::pack(&values);
+            assert_eq!(block.lanes(), lanes);
+            assert_eq!(block.unpack(), values, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 lanes")]
+    fn pack_rejects_more_than_256_lanes() {
+        WideBitplaneBlock::pack(&[0; 257]);
+    }
+
+    #[test]
+    fn scalar_pack_matches_dispatched_pack() {
+        for lanes in [1, 7, 64, 100, 256] {
+            let values = ragged_values(lanes);
+            let dispatched = WideBitplaneBlock::pack(&values);
+            let mut scalar = WideBitplaneBlock::EMPTY;
+            scalar.lanes = values.len();
+            pack_scalar(&mut scalar, &values);
+            assert_eq!(dispatched, scalar, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn wide_planes_match_narrow_blocks() {
+        let values = ragged_values(256);
+        let wide = WideBitplaneBlock::pack(&values);
+        for word in 0..WIDE_WORDS {
+            let narrow = BitplaneBlock::pack(&values[word * 64..(word + 1) * 64]);
+            for bit in 0..MAX_PRECISION {
+                assert_eq!(wide.plane_words(bit)[word], narrow.plane(bit), "bit {bit}");
+            }
+            assert_eq!(wide.sign_words()[word], narrow.sign_mask());
+        }
+    }
+
+    #[test]
+    fn wide_product_matches_serial_and_reference_on_ragged_lanes() {
+        for lanes in [1, 16, 63, 64, 65, 130, 256] {
+            let weights: Vec<i32> = (0..lanes).map(|i| (i as i32 % 255) - 127).collect();
+            let activations: Vec<i32> = (0..lanes).map(|i| (i as i32 * 7) % 256).collect();
+            let pw = required_precision(&weights);
+            let pa = required_unsigned_precision(&activations);
+            let wide = wide_inner_product_slices(&weights, &activations, pw, pa, true, false);
+            assert_eq!(
+                wide,
+                serial_inner_product(&weights, &activations, pw, pa, true, false),
+                "{lanes} lanes"
+            );
+            assert_eq!(wide, reference_inner_product(&weights, &activations));
+        }
+    }
+
+    #[test]
+    fn kernel_tiers_agree_where_detected() {
+        let weights = ragged_values(256);
+        let activations: Vec<i32> = ragged_values(256).iter().map(|v| v / 3).collect();
+        let w = WideBitplaneBlock::pack(&weights);
+        let a = WideBitplaneBlock::pack(&activations);
+        let (pw, pa) = (16usize, 16usize);
+        let portable = wide_product_core(&w, &a, pw, pa, true, true);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("popcnt") {
+                // SAFETY: feature detected above.
+                assert_eq!(portable, unsafe {
+                    wide_product_popcnt(&w, &a, pw, pa, true, true)
+                });
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature detected above.
+                assert_eq!(portable, unsafe {
+                    wide_product_avx2(&w, &a, pw, pa, true, true)
+                });
+            }
+        }
+        assert_eq!(portable, reference_inner_product(&weights, &activations));
+    }
+
+    #[test]
+    fn mismatched_lane_counts_treat_missing_lanes_as_zero() {
+        let weights = WideBitplaneBlock::pack(&ragged_values(200));
+        let activations = WideBitplaneBlock::pack(&ragged_values(70));
+        let expected = reference_inner_product(&ragged_values(200)[..70], &ragged_values(70));
+        assert_eq!(
+            wide_inner_product(
+                &weights,
+                &activations,
+                Precision::FULL,
+                Precision::FULL,
+                true,
+                true
+            ),
+            expected
+        );
+    }
+
+    #[test]
+    fn detected_precision_matches_vec_detectors() {
+        for lanes in [1, 5, 64, 77, 256] {
+            let values = ragged_values(lanes);
+            let block = WideBitplaneBlock::pack(&values);
+            assert_eq!(block.detected_precision(true), required_precision(&values));
+            let magnitudes: Vec<i32> = values.iter().map(|v| v.abs() & 0x7fff).collect();
+            let block = WideBitplaneBlock::pack(&magnitudes);
+            assert_eq!(
+                block.detected_precision(false),
+                required_unsigned_precision(&magnitudes)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_blocks_are_flagged() {
+        assert!(WideBitplaneBlock::pack(&[0; 100]).is_zero());
+        assert!(WideBitplaneBlock::EMPTY.is_zero());
+        assert!(!WideBitplaneBlock::pack(&[0, 0, 1]).is_zero());
+        assert!(!WideBitplaneBlock::pack(&[-1]).is_zero());
+    }
+
+    #[test]
+    fn magnitude_words_fold_like_the_narrow_detector() {
+        let values = vec![3, -100, 0, 17, -1];
+        let wide = WideBitplaneBlock::pack(&values);
+        let narrow = BitplaneBlock::pack(&values);
+        for bit in 0..MAX_PRECISION {
+            assert_eq!(wide.magnitude_words(bit)[0], narrow.magnitude_plane(bit));
+        }
+    }
+}

@@ -143,11 +143,12 @@ pub fn validate_accelerator_conv(
     report(functional.outputs == reference, functional.cycles, cycles)
 }
 
-/// Cross-checks the two SIP kernels on a convolutional layer: the packed
-/// AND+popcount datapath and the legacy bit-serial loop must produce
-/// *identical* [`crate::loom::FunctionalRun`]s — outputs, cycles, and
-/// dynamically reduced groups. CI's functional benchmark fails the build if
-/// this ever returns `false`.
+/// Cross-checks the three SIP kernels on a convolutional layer: the 256-lane
+/// wide datapath (the default), the 64-lane packed AND+popcount datapath and
+/// the legacy bit-serial loop must produce *identical*
+/// [`crate::loom::FunctionalRun`]s — outputs, cycles, and dynamically reduced
+/// groups. CI's functional benchmark fails the build if this ever returns
+/// `false`.
 pub fn conv_kernels_agree(
     geometry: LoomGeometry,
     spec: &ConvSpec,
@@ -157,11 +158,15 @@ pub fn conv_kernels_agree(
     pw: Precision,
 ) -> bool {
     use crate::loom::functional::SipKernel;
-    let packed = FunctionalLoom::new(geometry).run_conv(spec, input, weights, pa, pw);
-    let serial = FunctionalLoom::new(geometry)
-        .with_kernel(SipKernel::BitSerial)
-        .run_conv(spec, input, weights, pa, pw);
-    packed == serial
+    let wide = FunctionalLoom::new(geometry).run_conv(spec, input, weights, pa, pw);
+    [SipKernel::Packed, SipKernel::BitSerial]
+        .into_iter()
+        .all(|kernel| {
+            FunctionalLoom::new(geometry)
+                .with_kernel(kernel)
+                .run_conv(spec, input, weights, pa, pw)
+                == wide
+        })
 }
 
 /// Outcome of validating a whole network: the batched functional engine

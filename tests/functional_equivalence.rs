@@ -9,8 +9,8 @@ use loom_core::loom_model::reference::{conv_forward, fc_forward};
 use loom_core::loom_model::tensor::{Tensor3, Tensor4};
 use loom_core::loom_sim::config::LoomGeometry;
 use loom_core::loom_sim::loom::{
-    packed_inner_product_slices, reference_inner_product, serial_inner_product, FunctionalLoom,
-    SipKernel,
+    packed_inner_product_slices, reference_inner_product, serial_inner_product,
+    wide_inner_product_slices, FunctionalLoom, SipKernel,
 };
 use proptest::prelude::*;
 
@@ -87,6 +87,125 @@ proptest! {
                 prop_assert_eq!(serial, reference_inner_product(&weights, &activations));
             }
         }
+    }
+
+    /// The 256-lane SIMD-wide datapath is bit-identical to the bit-serial SIP
+    /// model (and both equal the integer reference) across the full wide lane
+    /// range — 65–256 lanes always spans multiple plane words, and the
+    /// modulus guarantees ragged tails (`lanes % 64 != 0`) are hit
+    /// constantly — for every precision combination and all four signedness
+    /// combinations.
+    #[test]
+    fn wide_equals_serial_equals_reference(
+        pw in 1u8..=16,
+        pa in 1u8..=16,
+        lanes in 65usize..=256,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng, RngExt};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pw_p = Precision::new(pw).unwrap();
+        let pa_p = Precision::new(pa).unwrap();
+        for weights_signed in [false, true] {
+            for activations_signed in [false, true] {
+                let (wmin, wmax) = if weights_signed {
+                    signed_range(pw_p)
+                } else {
+                    (0, ((1u32 << pw) - 1) as i32)
+                };
+                let (amin, amax) = if activations_signed {
+                    signed_range(pa_p)
+                } else {
+                    (0, ((1u32 << pa) - 1) as i32)
+                };
+                let weights: Vec<i32> = (0..lanes).map(|_| rng.random_range(wmin..=wmax)).collect();
+                let activations: Vec<i32> =
+                    (0..lanes).map(|_| rng.random_range(amin..=amax)).collect();
+                let serial = serial_inner_product(
+                    &weights, &activations, pw_p, pa_p, weights_signed, activations_signed,
+                );
+                let wide = wide_inner_product_slices(
+                    &weights, &activations, pw_p, pa_p, weights_signed, activations_signed,
+                );
+                prop_assert!(
+                    wide == serial,
+                    "wide {} != serial {} (ws={} as={} pw={} pa={} lanes={})",
+                    wide, serial, weights_signed, activations_signed, pw, pa, lanes
+                );
+                prop_assert_eq!(serial, reference_inner_product(&weights, &activations));
+            }
+        }
+    }
+
+    /// On 1–64 lanes the wide kernel also agrees with the 64-lane packed
+    /// block (the two datapaths tile the same values differently).
+    #[test]
+    fn wide_equals_packed_on_narrow_lanes(
+        pw in 1u8..=16,
+        pa in 1u8..=16,
+        lanes in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng, RngExt};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pw_p = Precision::new(pw).unwrap();
+        let pa_p = Precision::new(pa).unwrap();
+        let (wmin, wmax) = signed_range(pw_p);
+        let (amin, amax) = signed_range(pa_p);
+        let weights: Vec<i32> = (0..lanes).map(|_| rng.random_range(wmin..=wmax)).collect();
+        let activations: Vec<i32> = (0..lanes).map(|_| rng.random_range(amin..=amax)).collect();
+        prop_assert_eq!(
+            wide_inner_product_slices(&weights, &activations, pw_p, pa_p, true, true),
+            packed_inner_product_slices(&weights, &activations, pw_p, pa_p, true, true)
+        );
+    }
+
+    /// Thread-count invariance at the new task granularity: a convolution's
+    /// window groups and a fully-connected layer's output-row groups must
+    /// merge bit-identically for any worker count.
+    #[test]
+    fn layer_results_are_thread_invariant(
+        threads in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng, RngExt};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let geometry = LoomGeometry {
+            filter_rows: 8,
+            window_columns: 3,
+            sip_lanes: 5,
+            act_bits_per_cycle: 1,
+        };
+        let spec = ConvSpec {
+            padding: 1,
+            ..ConvSpec::simple(3, 7, 7, 5, 3)
+        };
+        let input = Tensor3::from_vec(
+            spec.input_shape(),
+            (0..spec.input_shape().len()).map(|_| rng.random_range(0i32..=255)).collect(),
+        )
+        .unwrap();
+        let weights = Tensor4::from_vec(
+            spec.weight_shape(),
+            (0..spec.weight_shape().len()).map(|_| rng.random_range(-64i32..=63)).collect(),
+        )
+        .unwrap();
+        let pa = Precision::new(8).unwrap();
+        let pw = Precision::new(7).unwrap();
+        let serial = FunctionalLoom::new(geometry).run_conv(&spec, &input, &weights, pa, pw);
+        let parallel = FunctionalLoom::new(geometry)
+            .with_threads(threads)
+            .run_conv(&spec, &input, &weights, pa, pw);
+        prop_assert_eq!(&serial, &parallel);
+
+        let fc = FcSpec::new(100, 150);
+        let fc_input: Vec<i32> = (0..100).map(|_| rng.random_range(-256i32..=255)).collect();
+        let fc_weights: Vec<i32> = (0..100 * 150).map(|_| rng.random_range(-64i32..=63)).collect();
+        let fc_serial = FunctionalLoom::new(geometry).run_fc(&fc, &fc_input, &fc_weights, pw);
+        let fc_parallel = FunctionalLoom::new(geometry)
+            .with_threads(threads)
+            .run_fc(&fc, &fc_input, &fc_weights, pw);
+        prop_assert_eq!(&fc_serial, &fc_parallel);
     }
 
     /// Bit-interleaved packing round-trips exactly at the precision detected
@@ -178,12 +297,16 @@ fn functional_conv_matches_reference_across_shapes() {
             };
             let run = engine.run_conv(&spec, &input, &weights, pa, pw);
             assert_eq!(run.outputs, reference, "shape {spec:?} dynamic={dynamic}");
-            // Both kernels must produce the whole FunctionalRun identically
-            // (outputs, cycles, and dynamically reduced groups).
-            let serial_run = engine
-                .with_kernel(SipKernel::BitSerial)
-                .run_conv(&spec, &input, &weights, pa, pw);
-            assert_eq!(run, serial_run, "shape {spec:?} dynamic={dynamic}");
+            // All three kernels must produce the whole FunctionalRun
+            // identically (outputs, cycles, and dynamically reduced groups)
+            // — including on this geometry's 5-lane SIP chunks, which
+            // straddle the wide datapath's 64-bit plane words.
+            for kernel in [SipKernel::Packed, SipKernel::BitSerial] {
+                let other = engine
+                    .with_kernel(kernel)
+                    .run_conv(&spec, &input, &weights, pa, pw);
+                assert_eq!(run, other, "shape {spec:?} dynamic={dynamic} {kernel:?}");
+            }
         }
     }
 }
@@ -265,11 +388,15 @@ fn dynamic_precision_fold_matches_group_values_algorithm() {
     let run = FunctionalLoom::new(geometry).run_conv(&spec, &input, &weights, pa, pw);
     assert_eq!(run.reduced_groups, expected_reduced);
     assert_eq!(run.outputs, conv_forward(&spec, &input, &weights));
-    // And the bit-serial kernel sees the identical detection (same cycles).
-    let serial_run = FunctionalLoom::new(geometry)
-        .with_kernel(SipKernel::BitSerial)
-        .run_conv(&spec, &input, &weights, pa, pw);
-    assert_eq!(run, serial_run);
+    // And the other kernels see the identical detection (same cycles) — the
+    // wide path reads the fold from its `[u64; 4]` planes, the packed path
+    // from 64-lane blocks, the bit-serial path from the same packed blocks.
+    for kernel in [SipKernel::Packed, SipKernel::BitSerial] {
+        let other = FunctionalLoom::new(geometry)
+            .with_kernel(kernel)
+            .run_conv(&spec, &input, &weights, pa, pw);
+        assert_eq!(run, other, "{kernel:?}");
+    }
 }
 
 /// Full-network equivalence: every compute layer of a small CNN (conv → pool →
