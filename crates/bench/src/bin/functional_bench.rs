@@ -1,6 +1,6 @@
 //! Functional-engine benchmark, bit-exactness gate and perf regression guard.
 //!
-//! Three sections, all emitted into `BENCH_functional.json`:
+//! Four sections, all emitted into `BENCH_functional.json`:
 //!
 //! 1. **Kernels** — times 256-lane inner products at several precisions on
 //!    the legacy bit-serial loop, the 64-lane packed AND+popcount datapath
@@ -10,7 +10,11 @@
 //! 2. **Zoo** — runs whole networks (`loom_model::zoo::graphs`, including
 //!    branching GoogLeNet) through the batched functional engine and compares
 //!    every trace bit-for-bit against the golden graph executor.
-//! 3. **Batch** — runs one network as a batch of 4 across a 1/2/4-thread
+//! 3. **Datapaths** — runs one network through the functional datapath of
+//!    every backend in the default accelerator [`Registry`] (DPNN, Stripes,
+//!    DStripes, the Loom variants), recording wall-clock, executed cycles and
+//!    the measured speedup over DPNN, bit-exact against the golden executor.
+//! 4. **Batch** — runs one network as a batch of 4 across a 1/2/4-thread
 //!    scaling curve, verifying bit-identical results at every point.
 //!    Interpret the speedups against the recorded `available_parallelism`.
 //!
@@ -22,8 +26,8 @@
 //! topology-preserving `Mini*` networks for a quick run.
 
 use loom_core::export::{
-    functional_bench_to_json, BatchBench, FunctionalBenchReport, KernelBench, ScalingPoint,
-    ZooFunctionalRow,
+    functional_bench_to_json, BatchBench, DatapathThroughputRow, FunctionalBenchReport,
+    KernelBench, ScalingPoint, ZooFunctionalRow,
 };
 use loom_core::loom_model::graph::LayerGraph;
 use loom_core::loom_model::inference::{InferenceOptions, NetworkParams};
@@ -33,11 +37,14 @@ use loom_core::loom_model::synthetic::{
 use loom_core::loom_model::tensor::{Tensor3, Tensor4};
 use loom_core::loom_model::zoo::graphs;
 use loom_core::loom_model::{layer::ConvSpec, Precision};
+use loom_core::loom_sim::accelerator::Registry;
 use loom_core::loom_sim::config::LoomGeometry;
+use loom_core::loom_sim::datapath;
 use loom_core::loom_sim::loom::{
     packed_inner_product, serial_inner_product, wide_inner_product, BitplaneBlock, FunctionalLoom,
     NetworkEngine, SipKernel, WideBitplaneBlock,
 };
+use loom_core::loom_sim::EquivalentConfig;
 use loom_core::sweep::SweepOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -338,6 +345,82 @@ fn main() {
         })
         .collect();
 
+    // Per-accelerator functional throughput: every registered backend that
+    // exposes a functional datapath runs one network end to end, bit-exact
+    // against the golden executor, with cycles and wall-clock per backend.
+    // The measured speedup-vs-DPNN series backs Table 2 / Figure 4 with
+    // executed (not just modelled) cycle counts.
+    let datapaths = if options.filter.is_none() {
+        let name = if reduced { "MiniAlexNet" } else { "AlexNet" };
+        let graph = resolve(name);
+        let params =
+            NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 2018);
+        let inputs: Vec<Tensor3> = (0..2).map(|i| zoo_input(&graph, 7000 + i)).collect();
+        let run_options = InferenceOptions::default();
+        let golden = graph
+            .run_batch(&params, &inputs, run_options)
+            .expect("zoo graphs chain by construction");
+
+        let registry = Registry::with_defaults(EquivalentConfig::BASELINE_128);
+        println!(
+            "Datapath throughput: {} registered backends on {} x{}:",
+            registry.len(),
+            graph.name(),
+            inputs.len()
+        );
+        let mut rows: Vec<DatapathThroughputRow> = Vec::new();
+        for acc in registry.iter() {
+            let Some(backend) = acc.functional_datapath(options.threads) else {
+                continue;
+            };
+            let started = Instant::now();
+            let runs = datapath::run_network_batch(
+                backend.as_ref(),
+                &graph,
+                &params,
+                &inputs,
+                run_options,
+            )
+            .expect("zoo graphs chain by construction");
+            let seconds = started.elapsed().as_secs_f64();
+            rows.push(DatapathThroughputRow {
+                accelerator: acc.name(),
+                network: graph.name().to_string(),
+                seconds,
+                cycles: runs.iter().map(|r| r.cycles).sum(),
+                reduced_groups: runs.iter().map(|r| r.reduced_groups).sum(),
+                speedup_vs_dpnn: 1.0,
+                matches_reference: runs.iter().map(|r| &r.trace).eq(golden.iter()),
+            });
+        }
+        let dpnn_cycles = rows
+            .iter()
+            .find(|r| r.accelerator == "DPNN")
+            .map(|r| r.cycles);
+        for row in &mut rows {
+            if let Some(base) = dpnn_cycles {
+                if row.cycles > 0 {
+                    row.speedup_vs_dpnn = base as f64 / row.cycles as f64;
+                }
+            }
+            println!(
+                "  {:<14} {:>7.2}s  {:>12} cycles  {:>5.2}x vs DPNN  {}",
+                row.accelerator,
+                row.seconds,
+                row.cycles,
+                row.speedup_vs_dpnn,
+                if row.matches_reference {
+                    "bit-exact"
+                } else {
+                    "MISMATCH"
+                }
+            );
+        }
+        rows
+    } else {
+        Vec::new()
+    };
+
     // Batched throughput: one network, batch of 4, across a 1/2/4-thread
     // scaling curve. Bit-identical results are required at every point; the
     // speedups track how many cores the machine actually has
@@ -414,6 +497,7 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1),
         zoo,
+        datapaths,
         batch,
     };
     println!(

@@ -270,6 +270,31 @@ pub struct ZooFunctionalRow {
     pub matches_reference: bool,
 }
 
+/// One registered accelerator's functional end-to-end run over a zoo
+/// network: the measured (not just modeled) series behind Table 2 / Figure 4.
+/// Every backend shares the golden graph executor, so its trace must be
+/// bit-identical to the reference; `cycles` is the backend's own datapath
+/// accounting, consistent with its analytic `Accelerator` model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatapathThroughputRow {
+    /// Accelerator display name, in registry (Figure 4 plot) order.
+    pub accelerator: String,
+    /// Network the backend ran.
+    pub network: String,
+    /// Wall-clock seconds of the functional pass on this backend.
+    pub seconds: f64,
+    /// Modeled datapath cycles the backend reported.
+    pub cycles: u64,
+    /// Activation groups runtime precision detection reduced.
+    pub reduced_groups: u64,
+    /// Modeled-cycle speedup versus the DPNN row of the same network (1.0
+    /// for DPNN itself, and when no DPNN row exists to normalise against).
+    pub speedup_vs_dpnn: f64,
+    /// Whether the run was bit-identical to the golden model. CI fails the
+    /// job when false.
+    pub matches_reference: bool,
+}
+
 /// One point of the batched-throughput scaling curve: the same batch on a
 /// given worker count.
 #[derive(Debug, Clone, PartialEq)]
@@ -339,6 +364,9 @@ pub struct FunctionalBenchReport {
     pub available_parallelism: usize,
     /// Whole-network zoo runs, in suite order.
     pub zoo: Vec<ZooFunctionalRow>,
+    /// Per-accelerator functional throughput rows (every registered backend
+    /// over the conformance network), in registry order.
+    pub datapaths: Vec<DatapathThroughputRow>,
     /// Batched-throughput measurement, if the benchmark ran one.
     pub batch: Option<BatchBench>,
 }
@@ -365,12 +393,13 @@ impl FunctionalBenchReport {
     }
 
     /// Whether every bit-exactness check in the report passed: the three SIP
-    /// kernels, every zoo network against the golden model, and every
-    /// parallel batch run against the serial one. CI fails the job when
-    /// false.
+    /// kernels, every zoo network against the golden model, every
+    /// per-accelerator datapath row, and every parallel batch run against
+    /// the serial one. CI fails the job when false.
     pub fn all_agree(&self) -> bool {
         self.kernels_agree
             && self.zoo.iter().all(|z| z.matches_reference)
+            && self.datapaths.iter().all(|d| d.matches_reference)
             && self.batch.as_ref().map_or(true, |b| b.identical)
     }
 }
@@ -446,6 +475,26 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
             z.cycles,
             z.reduced_groups,
             z.matches_reference
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"datapaths\": [\n");
+    for (i, d) in report.datapaths.iter().enumerate() {
+        let comma = if i + 1 < report.datapaths.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"accelerator\": {}, \"network\": {}, \"seconds\": {:.6}, \"cycles\": {}, \"reduced_groups\": {}, \"speedup_vs_dpnn\": {:.4}, \"matches_reference\": {}}}{comma}",
+            json_string(&d.accelerator),
+            json_string(&d.network),
+            d.seconds,
+            d.cycles,
+            d.reduced_groups,
+            d.speedup_vs_dpnn,
+            d.matches_reference
         );
     }
     out.push_str("  ],\n");
@@ -588,6 +637,26 @@ mod tests {
                 reduced_groups: 7,
                 matches_reference: true,
             }],
+            datapaths: vec![
+                DatapathThroughputRow {
+                    accelerator: "DPNN".into(),
+                    network: "MiniAlexNet".into(),
+                    seconds: 0.4,
+                    cycles: 4000,
+                    reduced_groups: 0,
+                    speedup_vs_dpnn: 1.0,
+                    matches_reference: true,
+                },
+                DatapathThroughputRow {
+                    accelerator: "DStripes".into(),
+                    network: "MiniAlexNet".into(),
+                    seconds: 0.5,
+                    cycles: 1000,
+                    reduced_groups: 12,
+                    speedup_vs_dpnn: 4.0,
+                    matches_reference: true,
+                },
+            ],
             batch: Some(BatchBench {
                 network: "AlexNet".into(),
                 batch: 4,
@@ -634,9 +703,14 @@ mod tests {
         assert!(report.all_agree());
         assert!((report.batch.as_ref().unwrap().speedup() - 4.0).abs() < 1e-12);
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
-        // A diverging zoo row or batch flips the aggregate gate.
+        assert!(json.contains("\"accelerator\": \"DStripes\""));
+        assert!(json.contains("\"speedup_vs_dpnn\": 4.0000"));
+        // A diverging zoo row, datapath row, or batch flips the gate.
         let mut bad = report.clone();
         bad.zoo[0].matches_reference = false;
+        assert!(!bad.all_agree());
+        let mut bad = report.clone();
+        bad.datapaths[1].matches_reference = false;
         assert!(!bad.all_agree());
         let mut bad = report.clone();
         bad.batch.as_mut().unwrap().identical = false;

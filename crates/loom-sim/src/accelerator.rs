@@ -6,10 +6,17 @@
 //! Adding a new backend means writing one impl of [`Accelerator`] and
 //! registering it; the engine, the experiment plumbing, the tables and the
 //! CSV export all consume the trait and need no changes (see
-//! `docs/ARCHITECTURE.md`, "Accelerator trait & sweep runner").
+//! `docs/ARCHITECTURE.md`, "Accelerator trait & sweep runner"). Backends
+//! that additionally override [`Accelerator::functional_datapath`] get pulled
+//! into the differential conformance harness automatically: every registered
+//! functional datapath is run over the zoo and checked bit-exact against the
+//! golden model and every other backend.
 
 use crate::config::{DpnnGeometry, EquivalentConfig, LoomGeometry, LoomVariant};
 use crate::counts::{LayerClass, LayerSim, NetworkSim};
+use crate::datapath::{
+    FunctionalDStripes, FunctionalDatapath, FunctionalDpnn, FunctionalStripes, LoomDatapath,
+};
 use crate::engine::{AcceleratorKind, PrecisionAssignment};
 use crate::loom::schedule::{conv_schedule, fc_schedule};
 use crate::{dpnn, stripes};
@@ -71,6 +78,19 @@ pub trait Accelerator: Send + Sync {
 
     /// Cycle count and datapath utilization for a fully-connected layer.
     fn fc_cycles(&self, spec: &FcSpec, precision: &LayerPrecisionSpec) -> (u64, f64);
+
+    /// The functional (value-computing) image of this datapath, if it has
+    /// one: an engine that executes real layers bit-exactly and accounts
+    /// cycles consistently with the analytic model above. Backends that
+    /// return one are cross-validated against the golden model and every
+    /// other registered backend by [`crate::validate::cross_validate`] — so
+    /// overriding this default is all it takes to opt a new accelerator into
+    /// the differential conformance harness. `threads` is the worker budget
+    /// for engines that fan layer jobs across a pool.
+    fn functional_datapath(&self, threads: usize) -> Option<Box<dyn FunctionalDatapath>> {
+        let _ = threads;
+        None
+    }
 
     /// Simulates a single layer: cycles from the class-specific kernel,
     /// traffic priced at this accelerator's storage precision.
@@ -172,6 +192,10 @@ impl Accelerator for Dpnn {
             dpnn::fc_utilization(&self.geometry, spec),
         )
     }
+
+    fn functional_datapath(&self, _threads: usize) -> Option<Box<dyn FunctionalDatapath>> {
+        Some(Box::new(FunctionalDpnn::new(self.geometry)))
+    }
 }
 
 /// Stripes: bit-serial activations with static per-layer precisions,
@@ -219,6 +243,10 @@ impl Accelerator for Stripes {
             dpnn::fc_cycles(&self.geometry, spec),
             dpnn::fc_utilization(&self.geometry, spec),
         )
+    }
+
+    fn functional_datapath(&self, _threads: usize) -> Option<Box<dyn FunctionalDatapath>> {
+        Some(Box::new(FunctionalStripes::new(self.geometry)))
     }
 }
 
@@ -271,6 +299,10 @@ impl Accelerator for DStripes {
             dpnn::fc_cycles(&self.geometry, spec),
             dpnn::fc_utilization(&self.geometry, spec),
         )
+    }
+
+    fn functional_datapath(&self, _threads: usize) -> Option<Box<dyn FunctionalDatapath>> {
+        Some(Box::new(FunctionalDStripes::new(self.geometry)))
     }
 }
 
@@ -338,6 +370,10 @@ impl Accelerator for Loom {
     fn fc_cycles(&self, spec: &FcSpec, precision: &LayerPrecisionSpec) -> (u64, f64) {
         let r = fc_schedule(&self.geometry, spec, precision, true);
         (r.cycles, r.utilization)
+    }
+
+    fn functional_datapath(&self, threads: usize) -> Option<Box<dyn FunctionalDatapath>> {
+        Some(Box::new(LoomDatapath::new(self.geometry, threads)))
     }
 }
 
@@ -477,6 +513,18 @@ mod tests {
                 acc.name()
             );
             assert!(g.rows > 0 && g.columns > 0);
+        }
+    }
+
+    #[test]
+    fn every_default_accelerator_exposes_a_functional_datapath() {
+        let registry = Registry::with_defaults(EquivalentConfig::BASELINE_128);
+        for acc in registry.iter() {
+            assert!(
+                acc.functional_datapath(1).is_some(),
+                "{} has no functional datapath",
+                acc.name()
+            );
         }
     }
 

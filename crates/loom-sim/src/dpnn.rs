@@ -10,6 +10,11 @@
 //!
 //! Pooling and activation functions are handled by dedicated units off the
 //! critical path (as in DaDianNao) and contribute no datapath cycles.
+//!
+//! These are the *analytic* cycle models; the value-computing counterpart
+//! ([`crate::datapath::FunctionalDpnn`]) executes the same tiling on real
+//! tensors, bit-exact against the golden reference, and reports cycle counts
+//! that equal these formulas by construction.
 
 use crate::config::DpnnGeometry;
 use loom_model::layer::{ConvSpec, FcSpec};

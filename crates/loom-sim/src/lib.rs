@@ -11,9 +11,15 @@
 //!   analytic convolutional / fully-connected schedules with dynamic
 //!   activation precisions, per-group weight precisions, SIP cascading and
 //!   the LM1b/LM2b/LM4b variants.
+//! * [`datapath`] — functional (value-computing) images of every comparator
+//!   datapath: bit-parallel DPNN, activation-serial Stripes, detecting
+//!   DStripes, and the Loom engine behind one [`datapath::FunctionalDatapath`]
+//!   seam, so any registered accelerator can run whole networks bit-exact
+//!   against the golden model.
 //! * [`accelerator`] — the [`accelerator::Accelerator`] trait every datapath
 //!   implements, plus the [`accelerator::Registry`] the engine dispatches
-//!   through (add a backend by implementing the trait and registering it).
+//!   through (add a backend by implementing the trait and registering it;
+//!   overriding `functional_datapath` buys conformance coverage for free).
 //! * [`engine`] — the unified [`engine::Simulator`] front end.
 //! * [`counts`] — per-layer / per-network cycle and traffic records.
 //!
@@ -40,6 +46,7 @@
 pub mod accelerator;
 pub mod config;
 pub mod counts;
+pub mod datapath;
 pub mod dpnn;
 pub mod engine;
 pub mod loom;

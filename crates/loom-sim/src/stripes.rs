@@ -10,6 +10,12 @@
 //! concurrently (compensating for bit-serial activations with window
 //! parallelism), `k` filters and 16-long weight chunks per step, each step
 //! taking `Pa` cycles.
+//!
+//! These are the *analytic* cycle models; the value-computing counterparts
+//! ([`crate::datapath::FunctionalStripes`] and
+//! [`crate::datapath::FunctionalDStripes`]) execute the same schedule on real
+//! tensors, bit-exact against the golden reference, and report cycle counts
+//! that equal these formulas by construction.
 
 use crate::config::DpnnGeometry;
 use loom_model::layer::{ConvSpec, FcSpec};

@@ -1,15 +1,24 @@
-//! Cross-validation between the two Loom models.
+//! Cross-validation between models — functional vs analytic, and backend vs
+//! backend.
 //!
-//! The repository carries two independent implementations of the Loom engine:
-//! the *functional* model ([`crate::loom::functional`]), which actually
-//! computes every output bit-serially, and the *analytic* schedules
-//! ([`crate::loom::schedule`]), which only count cycles but run fast enough to
-//! sweep whole networks. This module checks them against each other (and
-//! against the golden reference from `loom-model`) on concrete layers, which is
-//! how the repository establishes that the fast model used for every table and
-//! figure is trustworthy.
+//! The repository carries two independent implementations of every
+//! accelerator: a *functional* model ([`crate::loom::functional`] for Loom,
+//! [`crate::datapath`] for the DPNN/Stripes/DStripes comparators), which
+//! actually computes every output, and the *analytic* cycle models, which
+//! only count cycles but run fast enough to sweep whole networks. This module
+//! checks them against each other (and against the golden reference from
+//! `loom-model`) on concrete layers, which is how the repository establishes
+//! that the fast models used for every table and figure are trustworthy.
+//!
+//! [`cross_validate`] closes the loop at the network level: every accelerator
+//! in a [`Registry`] that exposes a
+//! [`functional_datapath`](crate::accelerator::Accelerator::functional_datapath)
+//! runs the same inputs through the shared graph executor, and all of them
+//! must land bit-exactly on the golden model — and therefore on each other.
 
+use crate::accelerator::Registry;
 use crate::config::LoomGeometry;
+use crate::datapath::run_network_batch;
 use crate::loom::functional::FunctionalLoom;
 use crate::loom::schedule::{conv_schedule, fc_schedule};
 use loom_model::layer::{ConvSpec, FcSpec};
@@ -215,6 +224,77 @@ pub fn validate_network(
     })
 }
 
+/// One registered backend's conformance result in a [`CrossValidation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendConformance {
+    /// The accelerator's display name.
+    pub accelerator: String,
+    /// Whether every batch item's trace is bit-identical to the golden
+    /// model's (layer inputs, accumulators, re-quantization and outputs).
+    pub matches_golden: bool,
+    /// Total cycles this backend spent over the batch.
+    pub cycles: u64,
+    /// Total dynamically reduced activation groups over the batch.
+    pub reduced_groups: u64,
+}
+
+/// Outcome of running every registered functional datapath over one network:
+/// the differential conformance record the harness and CI key off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossValidation {
+    /// The network the backends ran.
+    pub network: String,
+    /// Per-backend results, in registry order.
+    pub backends: Vec<BackendConformance>,
+}
+
+impl CrossValidation {
+    /// Whether at least one backend ran and every backend matched the golden
+    /// model — which, by transitivity, means all backends also agree with
+    /// each other bit-for-bit.
+    pub fn all_match(&self) -> bool {
+        !self.backends.is_empty() && self.backends.iter().all(|b| b.matches_golden)
+    }
+}
+
+/// Runs `inputs` through the golden graph executor once, then through every
+/// accelerator in `registry` that exposes a functional datapath (with
+/// `threads` workers each), and records which backends reproduce the golden
+/// traces bit-exactly. Backends without a functional datapath are skipped —
+/// they simply don't appear in the result.
+///
+/// # Errors
+///
+/// Propagates executor errors (shape mismatches, malformed concats) from the
+/// golden run or any backend run.
+pub fn cross_validate(
+    registry: &Registry,
+    graph: &loom_model::graph::LayerGraph,
+    params: &loom_model::inference::NetworkParams,
+    inputs: &[loom_model::tensor::Tensor3],
+    options: loom_model::inference::InferenceOptions,
+    threads: usize,
+) -> Result<CrossValidation, loom_model::inference::InferenceError> {
+    let golden = graph.run_batch(params, inputs, options)?;
+    let mut backends = Vec::new();
+    for acc in registry.iter() {
+        let Some(datapath) = acc.functional_datapath(threads) else {
+            continue;
+        };
+        let runs = run_network_batch(datapath.as_ref(), graph, params, inputs, options)?;
+        backends.push(BackendConformance {
+            accelerator: acc.name(),
+            matches_golden: runs.iter().map(|r| &r.trace).eq(golden.iter()),
+            cycles: runs.iter().map(|r| r.cycles).sum(),
+            reduced_groups: runs.iter().map(|r| r.reduced_groups).sum(),
+        });
+    }
+    Ok(CrossValidation {
+        network: graph.name().to_string(),
+        backends,
+    })
+}
+
 fn report(outputs_match: bool, functional_cycles: u64, analytic_cycles: u64) -> ValidationReport {
     let cycle_error = if analytic_cycles == 0 {
         if functional_cycles == 0 {
@@ -358,6 +438,58 @@ mod tests {
         assert!(v.traces_match);
         assert_eq!(v.layers, 3);
         assert!(v.cycles > 0);
+    }
+
+    #[test]
+    fn cross_validation_covers_every_registered_backend() {
+        use crate::config::EquivalentConfig;
+        use loom_model::graph::LayerGraph;
+        use loom_model::inference::{InferenceOptions, NetworkParams};
+        use loom_model::network::NetworkBuilder;
+        use loom_model::tensor::Shape3;
+
+        let graph = LayerGraph::from_network(
+            &NetworkBuilder::new("tiny")
+                .conv("c1", ConvSpec::simple(2, 8, 8, 4, 3))
+                .fully_connected("f1", FcSpec::new(4 * 6 * 6, 5))
+                .build()
+                .unwrap(),
+        );
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 4);
+        let mut rng = StdRng::seed_from_u64(12);
+        let inputs = [loom_model::tensor::Tensor3::from_vec(
+            Shape3::new(2, 8, 8),
+            synthetic_activations(
+                &mut rng,
+                2 * 8 * 8,
+                Precision::new(8).unwrap(),
+                ValueDistribution::activations(),
+            ),
+        )
+        .unwrap()];
+        let registry = Registry::with_defaults(EquivalentConfig::BASELINE_128);
+        let v = cross_validate(
+            &registry,
+            &graph,
+            &params,
+            &inputs,
+            InferenceOptions::default(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(v.network, "tiny");
+        // All six defaults expose functional datapaths, so all six appear.
+        assert_eq!(v.backends.len(), registry.len());
+        assert!(v.all_match(), "{v:?}");
+        for b in &v.backends {
+            assert!(b.cycles > 0, "{}", b.accelerator);
+        }
+        // An empty conformance record never counts as agreement.
+        assert!(!CrossValidation {
+            network: String::new(),
+            backends: Vec::new()
+        }
+        .all_match());
     }
 
     #[test]

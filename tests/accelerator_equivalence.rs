@@ -8,6 +8,10 @@
 //! over the bit-parallel geometry, Loom over the SIP schedules, with the
 //! per-kind storage precisions). If a trait impl ever drifts from the
 //! datapath semantics, these tests pinpoint the layer and kind.
+//!
+//! The suite iterates the simulator's [`Registry`] rather than a hard-coded
+//! kind list, so a newly registered backend is exercised automatically (the
+//! oracle itself still keys off the built-in kinds it reconstructs).
 
 use loom_core::experiment::{build_assignment, ExperimentSettings};
 use loom_core::loom_mem::traffic::{layer_traffic, StoragePrecision};
@@ -152,8 +156,9 @@ fn trait_impls_match_legacy_dispatch_bit_for_bit() {
         };
         for network in zoo::all() {
             let assignment = build_assignment(&network, &settings);
-            for kind in AcceleratorKind::all() {
-                let trait_sim = simulator.simulate(kind, &network, &assignment);
+            for acc in simulator.registry().iter() {
+                let kind = acc.kind();
+                let trait_sim = acc.simulate_network(&network, &assignment);
                 let legacy_sim = legacy_network_sim(kind, config, &network, &assignment);
                 assert_eq!(
                     trait_sim,
@@ -176,8 +181,9 @@ fn trait_impls_match_legacy_dispatch_with_per_group_weights() {
     let settings = ExperimentSettings::per_group_weights();
     for network in zoo::all() {
         let assignment = build_assignment(&network, &settings);
-        for kind in AcceleratorKind::all() {
-            let trait_sim = simulator.simulate(kind, &network, &assignment);
+        for acc in simulator.registry().iter() {
+            let kind = acc.kind();
+            let trait_sim = acc.simulate_network(&network, &assignment);
             let legacy_sim = legacy_network_sim(kind, config, &network, &assignment);
             assert_eq!(trait_sim, legacy_sim, "{} on {}", kind, network.name());
         }
@@ -194,8 +200,9 @@ fn trait_impls_match_legacy_dispatch_across_design_points() {
     for macs in [32usize, 512] {
         let config = EquivalentConfig::new(macs).unwrap();
         let simulator = Simulator::new(config);
-        for kind in AcceleratorKind::all() {
-            let trait_sim = simulator.simulate(kind, &network, &assignment);
+        for acc in simulator.registry().iter() {
+            let kind = acc.kind();
+            let trait_sim = acc.simulate_network(&network, &assignment);
             let legacy_sim = legacy_network_sim(kind, config, &network, &assignment);
             assert_eq!(trait_sim, legacy_sim, "{kind} at config {macs}");
         }
