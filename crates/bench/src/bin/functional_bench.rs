@@ -1,6 +1,8 @@
 //! Functional-engine benchmark, bit-exactness gate and perf regression guard.
 //!
-//! Four sections, all emitted into `BENCH_functional.json`:
+//! Five sections, all emitted into `BENCH_functional.json` together with
+//! machine provenance (detected CPU features, per-tier kernel availability,
+//! the active kernel tier, physical core count):
 //!
 //! 1. **Kernels** — times 256-lane inner products at several precisions on
 //!    the legacy bit-serial loop, the 64-lane packed AND+popcount datapath
@@ -14,16 +16,27 @@
 //!    every backend in the default accelerator [`Registry`] (DPNN, Stripes,
 //!    DStripes, the Loom variants), recording wall-clock, executed cycles and
 //!    the measured speedup over DPNN, bit-exact against the golden executor.
-//! 4. **Batch** — runs one network as a batch of 4 across a 1/2/4-thread
-//!    scaling curve, verifying bit-identical results at every point.
-//!    Interpret the speedups against the recorded `available_parallelism`.
+//! 4. **Batch** — runs one network as a batch of 4 across a thread scaling
+//!    curve (1/2/4, capped at `--threads`), verifying bit-identical results
+//!    at every point.
+//! 5. **Latency** — the same network as a *batch of 1* across the same
+//!    curve: the cost model splits large layers into intra-layer tasks, so
+//!    single-inference latency scales too, bit-identical at every width.
 //!
 //! CI runs this as a smoke step and fails if any bit-exactness check fails
-//! **or** the conv-layer speedup of the wide engine over the bit-serial
-//! engine drops below the committed floor (`--min-conv-speedup`, default
-//! 12×). `--threads N` / `LOOM_THREADS` size the worker pool, `--filter
-//! <network>` restricts the zoo section, and `--reduced` swaps in the
-//! topology-preserving `Mini*` networks for a quick run.
+//! **or** a committed perf floor is broken: `--min-conv-speedup` (default
+//! 12×, wide engine over bit-serial), and on multi-core runners
+//! `--min-batch-speedup` / `--min-latency-speedup` (no default — the batch
+//! and batch-of-1 scaling at the widest thread count).
+//!
+//! `--threads N` / `LOOM_THREADS` size the worker pool with the shared
+//! precedence (flag beats env beats available parallelism). Asking for more
+//! threads than the machine has is a hard error (exit 2) — a silently
+//! oversubscribed scaling curve reads like a regression — unless
+//! `--allow-oversubscribe` is given, which records `oversubscribed: true`
+//! and skips the scaling floors loudly. `--filter <network>` restricts the
+//! zoo section, and `--reduced` swaps in the topology-preserving `Mini*`
+//! networks for a quick run.
 
 use loom_core::export::{
     functional_bench_to_json, BatchBench, DatapathThroughputRow, FunctionalBenchReport,
@@ -42,7 +55,7 @@ use loom_core::loom_sim::config::LoomGeometry;
 use loom_core::loom_sim::datapath;
 use loom_core::loom_sim::loom::{
     packed_inner_product, serial_inner_product, wide_inner_product, BitplaneBlock, FunctionalLoom,
-    NetworkEngine, SipKernel, WideBitplaneBlock,
+    NetworkEngine, SipKernel, WideBitplaneBlock, KERNEL_TIERS,
 };
 use loom_core::loom_sim::EquivalentConfig;
 use loom_core::sweep::SweepOptions;
@@ -187,31 +200,134 @@ fn bench_zoo_network(
     }
 }
 
-/// Parses `--min-conv-speedup <x>` (or `--min-conv-speedup=<x>`), falling
-/// back to [`DEFAULT_MIN_CONV_SPEEDUP`] when the flag is absent. A flag
-/// present with a missing or unparsable value exits non-zero — silently
-/// guarding at the default would let a mistyped CI floor pass unnoticed.
-fn min_conv_speedup() -> f64 {
+/// Parses a `--<name> <x>` (or `--<name>=<x>`) float flag. `None` when the
+/// flag is absent; a flag present with a missing or unparsable value exits
+/// non-zero — silently guarding at a default would let a mistyped CI floor
+/// pass unnoticed.
+fn float_flag(name: &str) -> Option<f64> {
     let reject = |value: &str| -> ! {
-        eprintln!("ERROR: --min-conv-speedup needs a numeric value, got {value:?}");
+        eprintln!("ERROR: --{name} needs a numeric value, got {value:?}");
         std::process::exit(2);
     };
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--min-conv-speedup" {
+        if arg == flag {
             let value = args.next().unwrap_or_default();
-            return value.parse().unwrap_or_else(|_| reject(&value));
-        } else if let Some(value) = arg.strip_prefix("--min-conv-speedup=") {
-            return value.parse().unwrap_or_else(|_| reject(value));
+            return Some(value.parse().unwrap_or_else(|_| reject(&value)));
+        } else if let Some(value) = arg.strip_prefix(&prefix) {
+            return Some(value.parse().unwrap_or_else(|_| reject(value)));
         }
     }
-    DEFAULT_MIN_CONV_SPEEDUP
+    None
+}
+
+/// Measures one network across a thread scaling curve at the given batch
+/// size, asserting bit-identical runs at every width.
+fn scaling_bench(
+    graph: &LayerGraph,
+    geometry: LoomGeometry,
+    batch: usize,
+    seed_base: u64,
+    thread_curve: &[usize],
+) -> BatchBench {
+    let params = NetworkParams::synthetic_for_graph(graph, &[Precision::new(8).unwrap()], 2018);
+    let inputs: Vec<Tensor3> = (0..batch as u64)
+        .map(|i| zoo_input(graph, seed_base + i))
+        .collect();
+    let run_options = InferenceOptions::default();
+    let mut scaling = Vec::with_capacity(thread_curve.len());
+    let mut reference = None;
+    let mut identical = true;
+    for &threads in thread_curve {
+        let started = Instant::now();
+        let runs = NetworkEngine::new(geometry)
+            .with_threads(threads)
+            .run_batch(graph, &params, &inputs, run_options)
+            .expect("zoo graphs chain by construction");
+        let seconds = started.elapsed().as_secs_f64();
+        scaling.push(ScalingPoint { threads, seconds });
+        match &reference {
+            None => reference = Some(runs),
+            Some(r) => identical &= *r == runs,
+        }
+    }
+    let serial_seconds = scaling[0].seconds;
+    let &ScalingPoint { threads, seconds } = scaling.last().expect("curve is non-empty");
+    BatchBench {
+        network: graph.name().to_string(),
+        batch: inputs.len(),
+        threads,
+        serial_seconds,
+        parallel_seconds: seconds,
+        identical,
+        scaling,
+    }
+}
+
+/// Prints one scaling section's curve on a single line.
+fn print_scaling(label: &str, bench: &BatchBench) {
+    print!("{label}: {} x{} scaling curve:", bench.network, bench.batch);
+    for p in &bench.scaling {
+        print!(
+            "  {}t {:.2}s ({:.2}x)",
+            p.threads,
+            p.seconds,
+            if p.seconds > 0.0 {
+                bench.serial_seconds / p.seconds
+            } else {
+                1.0
+            }
+        );
+    }
+    println!("  identical: {}", bench.identical);
 }
 
 fn main() {
     let mut options = SweepOptions::from_env();
     let reduced = std::env::args().any(|a| a == "--reduced");
-    let speedup_floor = min_conv_speedup();
+    let speedup_floor = float_flag("min-conv-speedup").unwrap_or(DEFAULT_MIN_CONV_SPEEDUP);
+    let batch_floor = float_flag("min-batch-speedup");
+    let latency_floor = float_flag("min-latency-speedup");
+
+    // Oversubscription policy: a scaling curve measured with more workers
+    // than the machine has cores reads like a perf regression, so asking for
+    // one is a hard error rather than a silent 1-thread (or thrashing) run.
+    let available = loom_core::threads::available();
+    let allow_oversubscribe = std::env::args().any(|a| a == "--allow-oversubscribe");
+    let oversubscribed = options.threads > available;
+    if oversubscribed {
+        if allow_oversubscribe {
+            eprintln!(
+                "WARNING: --threads {} exceeds available parallelism {available}; \
+                 scaling numbers will not be meaningful and the scaling floors are skipped",
+                options.threads
+            );
+        } else {
+            eprintln!(
+                "ERROR: --threads {} exceeds available parallelism {available} \
+                 (pass --allow-oversubscribe to force an oversubscribed run)",
+                options.threads
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let machine_features = loom_core::loom_sim::loom::cpu_features();
+    let active_tier = loom_core::loom_sim::loom::active_kernel_tier();
+    println!(
+        "Machine: {available} logical CPUs, {} physical cores; kernel tier {} \
+         (popcnt={} avx2={} avx512f={} avx512bw={} avx512vpopcntdq={})",
+        loom_core::threads::physical_cores(),
+        active_tier.name(),
+        machine_features.popcnt,
+        machine_features.avx2,
+        machine_features.avx512f,
+        machine_features.avx512bw,
+        machine_features.avx512vpopcntdq,
+    );
+
     let mut rng = StdRng::seed_from_u64(2018);
 
     println!("SIP kernel: {KERNEL_LANES}-lane inner product, bit-serial vs packed vs wide");
@@ -421,69 +537,28 @@ fn main() {
         Vec::new()
     };
 
-    // Batched throughput: one network, batch of 4, across a 1/2/4-thread
-    // scaling curve. Bit-identical results are required at every point; the
-    // speedups track how many cores the machine actually has
-    // (`available_parallelism` is recorded so a single-core runner's ~1x is
-    // interpretable).
-    let batch = if options.filter.is_none() {
+    // Batched throughput and batch-of-1 latency: one network across a thread
+    // scaling curve, capped at the resolved thread budget so an
+    // un-oversubscribed run never measures more workers than cores.
+    // Bit-identical results are required at every point. The latency section
+    // runs the *same single inference* at each width — only the cost model's
+    // intra-layer task decomposition makes that curve move.
+    let thread_curve: Vec<usize> = [1usize, 2, 4, options.threads]
+        .into_iter()
+        .filter(|&t| t <= options.threads)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let (batch, latency) = if options.filter.is_none() {
         let name = if reduced { "MiniAlexNet" } else { "AlexNet" };
         let graph = resolve(name);
-        let params =
-            NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 2018);
-        let inputs: Vec<Tensor3> = (0..4).map(|i| zoo_input(&graph, 9000 + i)).collect();
-        let run_options = InferenceOptions::default();
-        let thread_curve = [1usize, 2, 4];
-
-        let mut scaling = Vec::with_capacity(thread_curve.len());
-        let mut reference = None;
-        let mut identical = true;
-        for &threads in &thread_curve {
-            let started = Instant::now();
-            let runs = NetworkEngine::new(geometry)
-                .with_threads(threads)
-                .run_batch(&graph, &params, &inputs, run_options)
-                .expect("zoo graphs chain by construction");
-            let seconds = started.elapsed().as_secs_f64();
-            scaling.push(ScalingPoint { threads, seconds });
-            match &reference {
-                None => reference = Some(runs),
-                Some(r) => identical &= *r == runs,
-            }
-        }
-        let serial_seconds = scaling[0].seconds;
-        let &ScalingPoint {
-            threads, seconds, ..
-        } = scaling.last().expect("curve is non-empty");
-        let bench = BatchBench {
-            network: graph.name().to_string(),
-            batch: inputs.len(),
-            threads,
-            serial_seconds,
-            parallel_seconds: seconds,
-            identical,
-            scaling,
-        };
-        print!(
-            "Batched engine: {} x{} scaling curve:",
-            bench.network, bench.batch
-        );
-        for p in &bench.scaling {
-            print!(
-                "  {}t {:.2}s ({:.2}x)",
-                p.threads,
-                p.seconds,
-                if p.seconds > 0.0 {
-                    bench.serial_seconds / p.seconds
-                } else {
-                    1.0
-                }
-            );
-        }
-        println!("  identical: {}", bench.identical);
-        Some(bench)
+        let batch = scaling_bench(&graph, geometry, 4, 9000, &thread_curve);
+        print_scaling("Batched engine", &batch);
+        let latency = scaling_bench(&graph, geometry, 1, 9500, &thread_curve);
+        print_scaling("Batch-of-1 latency", &latency);
+        (Some(batch), Some(latency))
     } else {
-        None
+        (None, None)
     };
 
     let report = FunctionalBenchReport {
@@ -493,12 +568,28 @@ fn main() {
         conv_packed_seconds,
         conv_wide_seconds,
         kernels_agree,
-        available_parallelism: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        available_parallelism: available,
+        physical_cores: loom_core::threads::physical_cores(),
+        oversubscribed,
+        cpu_features: vec![
+            ("popcnt".to_string(), machine_features.popcnt),
+            ("avx2".to_string(), machine_features.avx2),
+            ("avx512f".to_string(), machine_features.avx512f),
+            ("avx512bw".to_string(), machine_features.avx512bw),
+            (
+                "avx512vpopcntdq".to_string(),
+                machine_features.avx512vpopcntdq,
+            ),
+        ],
+        kernel_tiers: KERNEL_TIERS
+            .iter()
+            .map(|t| (t.name().to_string(), t.detected()))
+            .collect(),
+        active_kernel_tier: active_tier.name().to_string(),
         zoo,
         datapaths,
         batch,
+        latency,
     };
     println!(
         "Conv layer, wide vs bit-serial engine: {:.1}x (64-lane packed: {:.1}x)",
@@ -532,5 +623,35 @@ fn main() {
             report.conv_speedup()
         );
         std::process::exit(1);
+    }
+    // Scaling floors (multi-core CI only): the batch and batch-of-1 curves
+    // at the widest thread count. Meaningless on an oversubscribed run, so
+    // skipped there — loudly, never silently.
+    if oversubscribed {
+        if batch_floor.is_some() || latency_floor.is_some() {
+            eprintln!(
+                "WARNING: skipping --min-batch-speedup/--min-latency-speedup: \
+                 the run was oversubscribed"
+            );
+        }
+        return;
+    }
+    for (name, floor, section) in [
+        ("batch", batch_floor, report.batch.as_ref()),
+        ("latency", latency_floor, report.latency.as_ref()),
+    ] {
+        let Some(floor) = floor else { continue };
+        let Some(section) = section else {
+            eprintln!("ERROR: --min-{name}-speedup given but the {name} section did not run");
+            std::process::exit(1);
+        };
+        if section.speedup() < floor {
+            eprintln!(
+                "ERROR: {name} speedup {:.2}x at {} threads fell below the committed floor of {floor:.2}x",
+                section.speedup(),
+                section.threads
+            );
+            std::process::exit(1);
+        }
     }
 }

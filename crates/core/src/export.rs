@@ -362,6 +362,21 @@ pub struct FunctionalBenchReport {
     /// Cores the benchmarking machine exposed (contextualises the batch
     /// speedup: a single-core runner cannot show one).
     pub available_parallelism: usize,
+    /// Physical cores of the machine (SMT siblings collapsed) — scaling
+    /// floors are judged against this, not logical CPUs.
+    pub physical_cores: usize,
+    /// Whether the run was forced past the machine's available parallelism
+    /// (`--allow-oversubscribe`). Scaling numbers from such a run are not
+    /// comparable to a committed floor.
+    pub oversubscribed: bool,
+    /// Runtime-detected CPU features relevant to the wide kernels, as
+    /// `(name, detected)` pairs in a stable order.
+    pub cpu_features: Vec<(String, bool)>,
+    /// Per-tier kernel availability, as `(tier name, detected)` pairs
+    /// slowest to fastest.
+    pub kernel_tiers: Vec<(String, bool)>,
+    /// The kernel tier the wide datapath dispatched to on this machine.
+    pub active_kernel_tier: String,
     /// Whole-network zoo runs, in suite order.
     pub zoo: Vec<ZooFunctionalRow>,
     /// Per-accelerator functional throughput rows (every registered backend
@@ -369,6 +384,9 @@ pub struct FunctionalBenchReport {
     pub datapaths: Vec<DatapathThroughputRow>,
     /// Batched-throughput measurement, if the benchmark ran one.
     pub batch: Option<BatchBench>,
+    /// Batch-of-1 latency scaling measurement (the same network as a single
+    /// inference, intra-layer tasks fanned across the pool), if run.
+    pub latency: Option<BatchBench>,
 }
 
 impl FunctionalBenchReport {
@@ -401,6 +419,7 @@ impl FunctionalBenchReport {
             && self.zoo.iter().all(|z| z.matches_reference)
             && self.datapaths.iter().all(|d| d.matches_reference)
             && self.batch.as_ref().map_or(true, |b| b.identical)
+            && self.latency.as_ref().map_or(true, |l| l.identical)
     }
 }
 
@@ -461,6 +480,30 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
         "  \"available_parallelism\": {},",
         report.available_parallelism
     );
+    let _ = writeln!(out, "  \"physical_cores\": {},", report.physical_cores);
+    let _ = writeln!(out, "  \"oversubscribed\": {},", report.oversubscribed);
+    let flag_map = |pairs: &[(String, bool)]| -> String {
+        pairs
+            .iter()
+            .map(|(name, on)| format!("{}: {on}", json_string(name)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(
+        out,
+        "  \"cpu_features\": {{{}}},",
+        flag_map(&report.cpu_features)
+    );
+    let _ = writeln!(
+        out,
+        "  \"kernel_tiers\": {{{}}},",
+        flag_map(&report.kernel_tiers)
+    );
+    let _ = writeln!(
+        out,
+        "  \"active_kernel_tier\": {},",
+        json_string(&report.active_kernel_tier)
+    );
     out.push_str("  \"zoo\": [\n");
     for (i, z) in report.zoo.iter().enumerate() {
         let comma = if i + 1 < report.zoo.len() { "," } else { "" };
@@ -498,37 +541,45 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
         );
     }
     out.push_str("  ],\n");
+    let batch_json = |b: &BatchBench| -> String {
+        let scaling: Vec<String> = b
+            .scaling
+            .iter()
+            .map(|p| {
+                let speedup = if p.seconds > 0.0 {
+                    b.serial_seconds / p.seconds
+                } else {
+                    1.0
+                };
+                format!(
+                    "{{\"threads\": {}, \"seconds\": {:.6}, \"speedup\": {:.4}}}",
+                    p.threads, p.seconds, speedup
+                )
+            })
+            .collect();
+        format!(
+            "{{\"network\": {}, \"batch\": {}, \"threads\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"identical\": {}, \"scaling\": [{}]}}",
+            json_string(&b.network),
+            b.batch,
+            b.threads,
+            b.serial_seconds,
+            b.parallel_seconds,
+            b.speedup(),
+            b.identical,
+            scaling.join(", ")
+        )
+    };
     match &report.batch {
         Some(b) => {
-            let scaling: Vec<String> = b
-                .scaling
-                .iter()
-                .map(|p| {
-                    let speedup = if p.seconds > 0.0 {
-                        b.serial_seconds / p.seconds
-                    } else {
-                        1.0
-                    };
-                    format!(
-                        "{{\"threads\": {}, \"seconds\": {:.6}, \"speedup\": {:.4}}}",
-                        p.threads, p.seconds, speedup
-                    )
-                })
-                .collect();
-            let _ = writeln!(
-                out,
-                "  \"batch\": {{\"network\": {}, \"batch\": {}, \"threads\": {}, \"serial_seconds\": {:.6}, \"parallel_seconds\": {:.6}, \"speedup\": {:.4}, \"identical\": {}, \"scaling\": [{}]}}",
-                json_string(&b.network),
-                b.batch,
-                b.threads,
-                b.serial_seconds,
-                b.parallel_seconds,
-                b.speedup(),
-                b.identical,
-                scaling.join(", ")
-            );
+            let _ = writeln!(out, "  \"batch\": {},", batch_json(b));
         }
-        None => out.push_str("  \"batch\": null\n"),
+        None => out.push_str("  \"batch\": null,\n"),
+    }
+    match &report.latency {
+        Some(l) => {
+            let _ = writeln!(out, "  \"latency\": {}", batch_json(l));
+        }
+        None => out.push_str("  \"latency\": null\n"),
     }
     out.push_str("}\n");
     out
@@ -627,6 +678,11 @@ mod tests {
             conv_wide_seconds: 0.05,
             kernels_agree: true,
             available_parallelism: 4,
+            physical_cores: 2,
+            oversubscribed: false,
+            cpu_features: vec![("popcnt".into(), true), ("avx512f".into(), false)],
+            kernel_tiers: vec![("portable".into(), true), ("avx2".into(), true)],
+            active_kernel_tier: "avx2".into(),
             zoo: vec![ZooFunctionalRow {
                 network: "MiniGoogLeNet".into(),
                 nodes: 30,
@@ -679,6 +735,24 @@ mod tests {
                     },
                 ],
             }),
+            latency: Some(BatchBench {
+                network: "AlexNet".into(),
+                batch: 1,
+                threads: 4,
+                serial_seconds: 2.0,
+                parallel_seconds: 1.0,
+                identical: true,
+                scaling: vec![
+                    ScalingPoint {
+                        threads: 1,
+                        seconds: 2.0,
+                    },
+                    ScalingPoint {
+                        threads: 4,
+                        seconds: 1.0,
+                    },
+                ],
+            }),
         };
         assert!((report.conv_speedup() - 40.0).abs() < 1e-12);
         assert!((report.conv_packed_speedup() - 10.0).abs() < 1e-12);
@@ -712,11 +786,24 @@ mod tests {
         let mut bad = report.clone();
         bad.datapaths[1].matches_reference = false;
         assert!(!bad.all_agree());
+        // Machine provenance fields round-trip into the JSON.
+        assert!(json.contains("\"physical_cores\": 2"));
+        assert!(json.contains("\"oversubscribed\": false"));
+        assert!(json.contains("\"cpu_features\": {\"popcnt\": true, \"avx512f\": false}"));
+        assert!(json.contains("\"kernel_tiers\": {\"portable\": true, \"avx2\": true}"));
+        assert!(json.contains("\"active_kernel_tier\": \"avx2\""));
+        // The batch-of-1 latency section mirrors the batch one.
+        assert!(json.contains("\"latency\": {\"network\": \"AlexNet\", \"batch\": 1"));
+        assert!((report.latency.as_ref().unwrap().speedup() - 2.0).abs() < 1e-12);
         let mut bad = report.clone();
         bad.batch.as_mut().unwrap().identical = false;
         assert!(!bad.all_agree());
+        let mut bad = report.clone();
+        bad.latency.as_mut().unwrap().identical = false;
+        assert!(!bad.all_agree());
         let mut no_batch = report.clone();
         no_batch.batch = None;
+        no_batch.latency = None;
         assert!(no_batch.all_agree());
         assert!(functional_bench_to_json(&no_batch).contains("\"batch\": null"));
         let degenerate = KernelBench {

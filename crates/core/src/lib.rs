@@ -8,7 +8,11 @@
 //! * [`experiment`] — precision-assignment construction and per-network
 //!   evaluation of every accelerator (DPNN, Stripes, DStripes, LM1b/2b/4b).
 //! * [`sweep`] — the parallel sweep runner: fans (network × accelerator ×
-//!   settings) jobs across worker threads with a memoizing result cache.
+//!   settings) jobs across the shared worker pool with a memoizing result
+//!   cache.
+//! * [`threads`] — the one thread-budget policy every binary shares
+//!   (`--threads` beats `LOOM_THREADS` beats available parallelism), plus
+//!   physical-core detection for bench provenance.
 //! * [`tables`] — Table 2, Table 4 and Figure 4 reproductions.
 //! * [`scaling`] — the Figure 5 scaling study with a realistic memory system.
 //! * [`report`] — plain-text table rendering shared by the reproduction
@@ -37,6 +41,7 @@ pub mod report;
 pub mod scaling;
 pub mod sweep;
 pub mod tables;
+pub mod threads;
 
 pub use experiment::{evaluate_all_networks, evaluate_network, ExperimentSettings};
 pub use scaling::{figure5, figure5_with, Figure5};

@@ -1,6 +1,6 @@
 //! The parallel sweep runner: fans (network × accelerator × settings) jobs
-//! across `std::thread::scope` workers with a shared job queue, deterministic
-//! result ordering, and a memoizing result cache keyed by
+//! across the shared [`loom_sim::pool`] worker pool with deterministic
+//! result ordering and a memoizing result cache keyed by
 //! `(network, kind, settings)`.
 //!
 //! Every table and figure of the paper is a sweep over this product space, so
@@ -19,15 +19,12 @@ use loom_sim::accelerator;
 use loom_sim::counts::NetworkSim;
 use loom_sim::engine::{AcceleratorKind, PrecisionAssignment};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// How many worker threads a sweep uses by default: the machine's available
 /// parallelism (1 if it cannot be determined).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    crate::threads::available()
 }
 
 /// Command-line options shared by the sweep-driving binaries: `--threads N`
@@ -53,48 +50,46 @@ impl Default for SweepOptions {
 impl SweepOptions {
     /// Parses options from an iterator of command-line arguments (excluding
     /// the program name). Unrecognised arguments are ignored so binaries can
-    /// layer their own flags on top. Precedence for the thread count:
-    /// `--threads` beats `LOOM_THREADS` beats [`default_threads`].
+    /// layer their own flags on top. Precedence for the thread count (the
+    /// shared [`crate::threads::resolve`] policy): `--threads` beats
+    /// `LOOM_THREADS` beats [`default_threads`].
     pub fn parse<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut options = SweepOptions {
-            threads: std::env::var("LOOM_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(default_threads),
-            filter: None,
-        };
+        let mut flag: Option<usize> = None;
+        let mut filter: Option<String> = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_ref() {
                 "--threads" => {
                     if let Some(n) = args.next().and_then(|v| v.as_ref().parse::<usize>().ok()) {
                         if n > 0 {
-                            options.threads = n;
+                            flag = Some(n);
                         }
                     }
                 }
                 "--filter" => {
-                    options.filter = args.next().map(|v| v.as_ref().to_string());
+                    filter = args.next().map(|v| v.as_ref().to_string());
                 }
                 other => {
                     if let Some(n) = other.strip_prefix("--threads=") {
                         if let Ok(n) = n.parse::<usize>() {
                             if n > 0 {
-                                options.threads = n;
+                                flag = Some(n);
                             }
                         }
                     } else if let Some(f) = other.strip_prefix("--filter=") {
-                        options.filter = Some(f.to_string());
+                        filter = Some(f.to_string());
                     }
                 }
             }
         }
-        options
+        SweepOptions {
+            threads: crate::threads::resolve(flag),
+            filter,
+        }
     }
 
     /// Parses the current process's command-line arguments.
@@ -290,40 +285,19 @@ impl SweepRunner {
             .clone()
     }
 
-    /// Runs `f` over every item, fanning the items across the worker pool via
-    /// a shared job queue. The result vector is in item order regardless of
-    /// which worker ran which item or in what order they finished.
+    /// Runs `f` over every item, fanning the items across the shared
+    /// [`loom_sim::pool`] worker pool (the same persistent workers the layer
+    /// engines use, so a sweep and the inference it drives never fight over
+    /// oversubscribed scoped threads). The result vector is in item order
+    /// regardless of which worker ran which item or in what order they
+    /// finished.
     pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        if self.threads <= 1 || items.len() <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(items.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let result = f(&items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job slot filled by a worker")
-            })
-            .collect()
+        loom_sim::pool::ordered_map(self.threads, items.len(), |i| f(&items[i]))
     }
 
     /// Evaluates `networks` under `settings` on the baseline and every

@@ -1,0 +1,110 @@
+//! The one thread-budget policy every binary shares: **`--threads` flag beats
+//! `LOOM_THREADS` beats [`available`]** (the machine's available
+//! parallelism). Bench binaries and the sweep runner resolve their worker
+//! count through [`resolve`] so the precedence cannot drift between tools,
+//! and [`physical_cores`] reports the physical core count for bench
+//! provenance (SMT siblings share execution ports, so scaling floors are
+//! judged against physical cores, not logical CPUs).
+
+/// Logical CPUs available to this process (1 if undeterminable).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The `LOOM_THREADS` environment override, if set to a positive integer.
+/// Zero or unparsable values are ignored (callers fall through to
+/// [`available`]).
+pub fn env_override() -> Option<usize> {
+    std::env::var("LOOM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Resolves a worker-thread count with the shared precedence: an explicit
+/// `--threads` flag value beats `LOOM_THREADS` beats [`available`]. A flag
+/// value of `Some(0)` is treated as unset (the CLI parsers already reject
+/// zero, this keeps the helper total).
+pub fn resolve(flag: Option<usize>) -> usize {
+    flag.filter(|&n| n > 0)
+        .or_else(env_override)
+        .unwrap_or_else(available)
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to [`available`] when the file is missing
+/// or unparsable (non-Linux hosts, restricted containers).
+pub fn physical_cores() -> usize {
+    physical_cores_from(&std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default())
+        .unwrap_or_else(available)
+}
+
+/// Parses `/proc/cpuinfo` text into a physical core count. `None` when the
+/// text holds no topology lines (the caller falls back).
+fn physical_cores_from(cpuinfo: &str) -> Option<usize> {
+    let mut cores = std::collections::HashSet::new();
+    let (mut package, mut core) = (None::<u64>, None::<u64>);
+    for line in cpuinfo.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            // Blank line: one logical-CPU stanza ended.
+            if let (Some(p), Some(c)) = (package, core) {
+                cores.insert((p, c));
+            }
+            (package, core) = (None, None);
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = value.trim().parse().ok(),
+            "core id" => core = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    if let (Some(p), Some(c)) = (package, core) {
+        cores.insert((p, c));
+    }
+    (!cores.is_empty()).then_some(cores.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_beats_env_beats_available() {
+        // The flag always wins outright; zero flags are treated as unset.
+        assert_eq!(resolve(Some(3)), 3);
+        assert!(resolve(Some(0)) >= 1);
+        assert!(resolve(None) >= 1);
+    }
+
+    #[test]
+    fn cpuinfo_topology_counts_unique_cores() {
+        // Two packages × two cores, each core with two SMT siblings: eight
+        // stanzas, four physical cores.
+        let mut text = String::new();
+        for cpu in 0..8 {
+            text.push_str(&format!(
+                "processor\t: {cpu}\nphysical id\t: {}\ncore id\t: {}\n\n",
+                cpu / 4,
+                (cpu / 2) % 2
+            ));
+        }
+        assert_eq!(physical_cores_from(&text), Some(4));
+        // No topology lines (ARM-style cpuinfo): the caller falls back.
+        assert_eq!(physical_cores_from("processor\t: 0\n\n"), None);
+        assert_eq!(physical_cores_from(""), None);
+        // Missing trailing blank line still counts the last stanza.
+        assert_eq!(
+            physical_cores_from("physical id\t: 0\ncore id\t: 0\n"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn physical_cores_never_exceeds_reason() {
+        let cores = physical_cores();
+        assert!(cores >= 1);
+    }
+}

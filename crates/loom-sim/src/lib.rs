@@ -22,6 +22,9 @@
 //!   overriding `functional_datapath` buys conformance coverage for free).
 //! * [`engine`] — the unified [`engine::Simulator`] front end.
 //! * [`counts`] — per-layer / per-network cycle and traffic records.
+//! * [`pool`] — the persistent work-stealing worker pool every parallel path
+//!   (layer fan-out, batched inference, sweeps) shares, with cost-model task
+//!   granularity chosen per layer by [`loom::cost`](crate::loom).
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod datapath;
 pub mod dpnn;
 pub mod engine;
 pub mod loom;
+pub mod pool;
 pub mod stripes;
 pub mod validate;
 

@@ -33,10 +33,11 @@
 //! checked against the analytic schedules.
 
 use crate::config::LoomGeometry;
+use crate::loom::cost::{self, ConvPlan};
 use crate::loom::packed::{packed_inner_product, BitplaneBlock, MagnitudeOr};
-use crate::loom::parallel;
 use crate::loom::sip::serial_inner_product;
 use crate::loom::wide::{wide_inner_product, WideBitplaneBlock, WIDE_LANES, WIDE_WORDS};
+use crate::pool;
 use loom_model::fixed::{Precision, MAX_PRECISION};
 use loom_model::im2col::{window_patch, window_patch_into, WindowPatch};
 use loom_model::layer::{ConvSpec, FcSpec};
@@ -155,14 +156,14 @@ impl FunctionalLoom {
     ) -> FunctionalRun {
         if self.kernel == SipKernel::Wide {
             let filters = FunctionalLoom::pack_wide_filters(spec, weights);
-            let job = self.wide_conv_job(spec, input, &filters, pa, pw);
-            let groups = parallel::ordered_map_with(
+            let job = self.wide_conv_job(spec, input, &filters, pa, pw, self.threads);
+            let tasks = pool::ordered_map_with(
                 self.threads,
-                job.group_count(),
+                job.task_count(),
                 ConvArena::default,
-                |arena, g| job.run_group(arena, g),
+                |arena, t| job.run_task(arena, t),
             );
-            return merge_window_groups(spec.filters, spec.windows(), groups);
+            return merge_conv_tasks(spec.filters, spec.windows(), tasks);
         }
         self.run_conv_legacy(spec, input, weights, pa, pw)
     }
@@ -254,9 +255,8 @@ impl FunctionalLoom {
             packed_filters,
         };
         let group_count = windows.div_ceil(cols);
-        let groups =
-            parallel::ordered_map(self.threads, group_count, |g| ctx.window_group(g * cols));
-        merge_window_groups(spec.filters, windows, groups)
+        let groups = pool::ordered_map(self.threads, group_count, |g| ctx.window_group(g * cols));
+        merge_conv_tasks(spec.filters, windows, groups)
     }
 
     /// Runs a fully-connected layer bit-serially. Every SIP is assigned one
@@ -284,8 +284,8 @@ impl FunctionalLoom {
         );
         let cycles = self.fc_cycles(spec, pw);
         if self.kernel == SipKernel::Wide {
-            let job = WideFcJob::new(spec, &[input], weights, pw);
-            let rows = parallel::ordered_map_with(
+            let job = WideFcJob::new(spec, &[input], weights, pw, self.threads);
+            let rows = pool::ordered_map_with(
                 self.threads,
                 job.row_group_count(),
                 FcArena::default,
@@ -419,9 +419,10 @@ impl FunctionalLoom {
     }
 
     /// Builds the shared, read-only context for one (layer, input) pair on
-    /// the wide datapath. The returned job exposes its window groups as
-    /// independent tasks, which is the granularity the batched network engine
-    /// fans across its worker pool.
+    /// the wide datapath, with its task decomposition planned by the cost
+    /// model for a budget of `units` threads. The returned job exposes
+    /// (window-chunk × filter-tile) tasks — the granularity the batched
+    /// network engine fans across the worker pool.
     ///
     /// # Panics
     ///
@@ -433,6 +434,7 @@ impl FunctionalLoom {
         filters: &'a WideFilterPlanes,
         pa: Precision,
         pw: Precision,
+        units: usize,
     ) -> WideConvJob<'a> {
         assert_eq!(input.shape(), spec.input_shape(), "input shape mismatch");
         assert_eq!(
@@ -441,6 +443,14 @@ impl FunctionalLoom {
             "weight planes do not tile the filters"
         );
         let wpf = spec.weights_per_filter();
+        let cols = self.geometry.window_columns;
+        let windows = spec.windows();
+        let plan = cost::plan_conv(
+            units,
+            windows.div_ceil(cols),
+            spec.filters,
+            cost::conv_cost(spec, pa, pw),
+        );
         WideConvJob {
             spec,
             input,
@@ -449,39 +459,41 @@ impl FunctionalLoom {
             pw,
             activations_signed: input.as_slice().iter().any(|&v| v < 0),
             detection: self.dynamic_precision && spec.groups == 1,
-            cols: self.geometry.window_columns,
+            cols,
             rows: self.geometry.filter_rows,
             sip_lanes: self.geometry.sip_lanes,
             b: u64::from(self.geometry.act_bits_per_cycle),
             out_w: spec.out_width(),
-            windows: spec.windows(),
+            windows,
             group_in: spec.in_channels / spec.groups,
             group_out: spec.filters / spec.groups,
             wpf,
             sip_chunks: wpf.div_ceil(self.geometry.sip_lanes),
             wide_blocks: wpf.div_ceil(WIDE_LANES),
+            plan,
         }
     }
 }
 
-/// Merges per-window-group partial results into the layer-wide filter-major
-/// output layout, accumulating cycles and reduced-group counts in group
-/// order (bit-identical at any thread count).
-pub(crate) fn merge_window_groups(
+/// Merges per-task partial results into the layer-wide filter-major output
+/// layout, accumulating cycles and reduced-group counts in task order
+/// (bit-identical at any thread count — tasks cover disjoint
+/// `(filter range × window range)` rectangles).
+pub(crate) fn merge_conv_tasks(
     filters: usize,
     windows: usize,
-    groups: Vec<WindowGroupRun>,
+    tasks: Vec<ConvTaskRun>,
 ) -> FunctionalRun {
     let mut outputs = vec![0i64; filters * windows];
     let mut cycles = 0u64;
     let mut reduced_groups = 0u64;
-    for group in groups {
-        cycles += group.cycles;
-        reduced_groups += group.reduced_groups;
-        for k in 0..filters {
-            let dst = k * windows + group.window_base;
-            outputs[dst..dst + group.window_count]
-                .copy_from_slice(&group.outputs[k * group.window_count..][..group.window_count]);
+    for task in tasks {
+        cycles += task.cycles;
+        reduced_groups += task.reduced_groups;
+        for f in 0..task.filter_count {
+            let dst = (task.filter_base + f) * windows + task.window_base;
+            outputs[dst..dst + task.window_count]
+                .copy_from_slice(&task.outputs[f * task.window_count..][..task.window_count]);
         }
     }
     FunctionalRun {
@@ -515,9 +527,9 @@ pub(crate) struct ConvArena {
     fold: Vec<u64>,
 }
 
-/// Everything a wide convolutional window-group job needs, shared read-only
-/// across the worker pool (and across batch items — the weight planes are
-/// packed once per layer).
+/// Everything a wide convolutional task needs, shared read-only across the
+/// worker pool (and across batch items — the weight planes are packed once
+/// per layer).
 pub(crate) struct WideConvJob<'a> {
     spec: &'a ConvSpec,
     input: &'a Tensor3,
@@ -537,12 +549,20 @@ pub(crate) struct WideConvJob<'a> {
     wpf: usize,
     sip_chunks: usize,
     wide_blocks: usize,
+    /// Cost-model task decomposition (window chunks × filter tiles).
+    plan: ConvPlan,
 }
 
 impl WideConvJob<'_> {
-    /// Number of independent window-group tasks this layer fans out.
-    pub(crate) fn group_count(&self) -> usize {
+    /// Number of architectural window groups (`cols` windows each).
+    fn group_count(&self) -> usize {
         self.windows.div_ceil(self.cols)
+    }
+
+    /// Number of independent pool tasks the cost model planned for this
+    /// layer.
+    pub(crate) fn task_count(&self) -> usize {
+        self.plan.tasks()
     }
 
     /// The convolution's total window count (for merging).
@@ -555,17 +575,81 @@ impl WideConvJob<'_> {
         self.spec.filters
     }
 
-    /// Runs window group `group_idx`: extract each window's patch into the
-    /// arena, pack it into wide blocks (once per window per layer), fold the
+    /// Runs task `task_idx` of the plan: a consecutive range of window
+    /// groups × one contiguous filter tile. Each window group is processed
+    /// with exactly the serial schedule — patch extraction, packing, the
+    /// per-group detection fold and per-`sip_lanes`-chunk cycle accounting —
+    /// so any decomposition is bit-identical to the serial engine. Cycles and
+    /// reduced-group counts are attributed to filter tile 0 only (they cover
+    /// the whole filter dimension already), so totals never depend on the
+    /// tiling.
+    pub(crate) fn run_task(&self, arena: &mut ConvArena, task_idx: usize) -> ConvTaskRun {
+        let tiles = self.plan.filter_tiles;
+        let chunk = task_idx / tiles;
+        let tile = task_idx % tiles;
+        let g0 = chunk * self.plan.groups_per_chunk;
+        let g1 = (g0 + self.plan.groups_per_chunk).min(self.group_count());
+        let window_base = g0 * self.cols;
+        let window_count = (g1 * self.cols).min(self.windows) - window_base;
+        let filter_base = self.spec.filters * tile / tiles;
+        let filter_count = self.spec.filters * (tile + 1) / tiles - filter_base;
+        let account = tile == 0;
+
+        let mut outputs = vec![0i64; filter_count * window_count];
+        let mut cycles = 0u64;
+        let mut reduced_groups = 0u64;
+        for g in g0..g1 {
+            let group_window_base = g * self.cols;
+            let col_offset = group_window_base - window_base;
+            let (c, r) = self.run_group_into(
+                arena,
+                g,
+                filter_base,
+                filter_count,
+                col_offset,
+                window_count,
+                &mut outputs,
+                account,
+            );
+            cycles += c;
+            reduced_groups += r;
+        }
+        ConvTaskRun {
+            window_base,
+            window_count,
+            filter_base,
+            filter_count,
+            outputs,
+            cycles,
+            reduced_groups,
+        }
+    }
+
+    /// Runs one architectural window group for a filter tile: extract each
+    /// window's patch into the arena, pack it into wide blocks, fold the
     /// magnitude planes for the architectural detector, account cycles per
-    /// `sip_lanes` chunk exactly as the serial model does, then evaluate the
-    /// products filters-outer / plane-inner.
-    pub(crate) fn run_group(&self, arena: &mut ConvArena, group_idx: usize) -> WindowGroupRun {
+    /// `sip_lanes` chunk exactly as the serial model does (when `account`),
+    /// then evaluate the tile's products filters-outer / plane-inner into
+    /// `outputs` at `col_offset`. Returns the group's (cycles,
+    /// reduced-group) contribution.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group_into(
+        &self,
+        arena: &mut ConvArena,
+        group_idx: usize,
+        filter_base: usize,
+        filter_count: usize,
+        col_offset: usize,
+        task_window_count: usize,
+        outputs: &mut [i64],
+        account: bool,
+    ) -> (u64, u64) {
         let window_base = group_idx * self.cols;
         let window_count = self.cols.min(self.windows - window_base);
         let bpp = self.wide_blocks;
         let conv_groups = self.spec.groups;
         let fold_words = bpp * WIDE_WORDS;
+        let folding = self.detection && account;
 
         arena
             .acts
@@ -576,7 +660,7 @@ impl WideConvJob<'_> {
         arena
             .act_zero
             .resize(window_count * conv_groups * bpp, false);
-        if self.detection {
+        if folding {
             arena.fold.clear();
             arena
                 .fold
@@ -584,8 +668,8 @@ impl WideConvJob<'_> {
         }
 
         // Pack every (window, conv-group) patch into wide blocks — each
-        // window is packed exactly once per layer, into storage the worker
-        // reuses across its jobs.
+        // window is packed once per (layer, filter tile), into storage the
+        // worker reuses across its tasks.
         for col in 0..window_count {
             let w = window_base + col;
             let (oy, ox) = (w / self.out_w, w % self.out_w);
@@ -610,7 +694,7 @@ impl WideConvJob<'_> {
                     arena.act_zero[idx] = block.is_zero();
                     // The architectural detector ORs the magnitude planes of
                     // everything the SIP columns consume concurrently.
-                    if self.detection && g == 0 {
+                    if folding && g == 0 {
                         for bit in 0..MAX_PRECISION {
                             let words = block.magnitude_words(bit);
                             let row = usize::from(bit) * fold_words + blk * WIDE_WORDS;
@@ -633,26 +717,29 @@ impl WideConvJob<'_> {
         let filter_groups = self.spec.filters.div_ceil(self.rows) as u64;
         let mut cycles = 0u64;
         let mut reduced_groups = 0u64;
-        for chunk in 0..self.sip_chunks {
-            let lane_base = chunk * self.sip_lanes;
-            let lane_count = self.sip_lanes.min(self.wpf - lane_base);
-            let effective_pa = if self.detection {
-                let detected = detect_fold_range(
-                    &arena.fold,
-                    fold_words,
-                    lane_base,
-                    lane_base + lane_count,
-                    self.activations_signed,
-                )
-                .min(self.pa);
-                if detected < self.pa {
-                    reduced_groups += 1;
-                }
-                detected
-            } else {
-                self.pa
-            };
-            cycles += filter_groups * self.pw.bits_u64() * effective_pa.bits_u64().div_ceil(self.b);
+        if account {
+            for chunk in 0..self.sip_chunks {
+                let lane_base = chunk * self.sip_lanes;
+                let lane_count = self.sip_lanes.min(self.wpf - lane_base);
+                let effective_pa = if self.detection {
+                    let detected = detect_fold_range(
+                        &arena.fold,
+                        fold_words,
+                        lane_base,
+                        lane_base + lane_count,
+                        self.activations_signed,
+                    )
+                    .min(self.pa);
+                    if detected < self.pa {
+                        reduced_groups += 1;
+                    }
+                    detected
+                } else {
+                    self.pa
+                };
+                cycles +=
+                    filter_groups * self.pw.bits_u64() * effective_pa.bits_u64().div_ceil(self.b);
+            }
         }
 
         // Products, filters-outer: one filter's weight blocks stay in
@@ -660,8 +747,8 @@ impl WideConvJob<'_> {
         // products run at the *detected* per-block precisions — every skipped
         // plane is zero or sign extension, so the narrower schedule is
         // bit-identical (and all-zero blocks are skipped outright).
-        let mut outputs = vec![0i64; self.spec.filters * window_count];
-        for k in 0..self.spec.filters {
+        for f in 0..filter_count {
+            let k = filter_base + f;
             let g = k / self.group_out;
             let wbase = k * bpp;
             for col in 0..window_count {
@@ -680,16 +767,10 @@ impl WideConvJob<'_> {
                         self.activations_signed,
                     );
                 }
-                outputs[k * window_count + col] = acc;
+                outputs[f * task_window_count + col_offset + col] = acc;
             }
         }
-        WindowGroupRun {
-            window_base,
-            window_count,
-            outputs,
-            cycles,
-            reduced_groups,
-        }
+        (cycles, reduced_groups)
     }
 }
 
@@ -736,11 +817,6 @@ fn detect_fold_range(
     }
 }
 
-/// Output rows per fully-connected task: small enough that even modest
-/// layers fan across a worker pool, large enough that one task amortises its
-/// row packing.
-const FC_ROW_TASK: usize = 64;
-
 /// Per-worker scratch for the wide fully-connected path: one output row's
 /// packed weight blocks, reused across every row the worker evaluates.
 #[derive(Default)]
@@ -768,10 +844,14 @@ pub(crate) struct WideFcJob<'a> {
     pw: Precision,
     chunks: usize,
     items: Vec<FcPackedInput>,
+    /// Output rows per pool task, chosen by the cost model.
+    rows_per_task: usize,
 }
 
 impl<'a> WideFcJob<'a> {
-    /// Packs every item's input activations into wide blocks.
+    /// Packs every item's input activations into wide blocks, with the
+    /// output-rows-per-task granularity planned by the cost model for a
+    /// budget of `units` threads.
     ///
     /// # Panics
     ///
@@ -781,6 +861,7 @@ impl<'a> WideFcJob<'a> {
         inputs: &[&[i32]],
         weights: &'a [i32],
         pw: Precision,
+        units: usize,
     ) -> Self {
         assert_eq!(
             weights.len(),
@@ -806,12 +887,18 @@ impl<'a> WideFcJob<'a> {
                 FcPackedInput { blocks, pa, zero }
             })
             .collect();
+        let rows_per_task = cost::fc_rows_per_task(
+            units,
+            spec.out_features,
+            cost::fc_cost(spec, inputs.len(), pw),
+        );
         WideFcJob {
             spec,
             weights,
             pw,
             chunks,
             items,
+            rows_per_task,
         }
     }
 
@@ -822,14 +909,14 @@ impl<'a> WideFcJob<'a> {
 
     /// Number of independent output-row tasks.
     pub(crate) fn row_group_count(&self) -> usize {
-        self.spec.out_features.div_ceil(FC_ROW_TASK)
+        self.spec.out_features.div_ceil(self.rows_per_task)
     }
 
-    /// Evaluates output rows `[g * 64, …)` for every item. The result is
-    /// row-major (`rows × items`): `out[(r - r0) * items + item]`.
+    /// Evaluates output rows `[g * rows_per_task, …)` for every item. The
+    /// result is row-major (`rows × items`): `out[(r - r0) * items + item]`.
     pub(crate) fn run_rows(&self, arena: &mut FcArena, g: usize) -> Vec<i64> {
-        let r0 = g * FC_ROW_TASK;
-        let r1 = (r0 + FC_ROW_TASK).min(self.spec.out_features);
+        let r0 = g * self.rows_per_task;
+        let r1 = (r0 + self.rows_per_task).min(self.spec.out_features);
         let items = self.items.len();
         let mut out = vec![0i64; (r1 - r0) * items];
         arena.blocks.resize(self.chunks, WideBitplaneBlock::EMPTY);
@@ -892,12 +979,15 @@ struct ConvContext<'a> {
     packed_filters: Vec<Vec<BitplaneBlock>>,
 }
 
-/// One window group's finished partial results: the outputs for its disjoint
-/// window range (filter-major, `filters x window_count`) plus its cycle and
-/// reduced-group contributions.
-pub(crate) struct WindowGroupRun {
+/// One conv task's finished partial results: the outputs for its disjoint
+/// `(filter range × window range)` rectangle (filter-major, `filter_count ×
+/// window_count`) plus its cycle and reduced-group contributions (zero for
+/// filter tiles other than 0).
+pub(crate) struct ConvTaskRun {
     window_base: usize,
     window_count: usize,
+    filter_base: usize,
+    filter_count: usize,
     outputs: Vec<i64>,
     cycles: u64,
     reduced_groups: u64,
@@ -907,7 +997,7 @@ impl ConvContext<'_> {
     /// Runs the window group starting at `window_base` — the body of the
     /// engine's original serial loop, writing into a group-local output
     /// buffer instead of the layer-wide one.
-    fn window_group(&self, window_base: usize) -> WindowGroupRun {
+    fn window_group(&self, window_base: usize) -> ConvTaskRun {
         let spec = self.spec;
         let window_count = self.cols.min(self.windows - window_base);
         let mut outputs = vec![0i64; spec.filters * window_count];
@@ -1010,9 +1100,11 @@ impl ConvContext<'_> {
                 }
             }
         }
-        WindowGroupRun {
+        ConvTaskRun {
             window_base,
             window_count,
+            filter_base: 0,
+            filter_count: spec.filters,
             outputs,
             cycles,
             reduced_groups,

@@ -3,10 +3,10 @@
 //! functional layer engine and its batched whole-network driver, and the
 //! analytic schedules for convolutional and fully-connected layers.
 
+pub mod cost;
 pub mod functional;
 pub mod network;
 pub mod packed;
-pub(crate) mod parallel;
 pub mod schedule;
 pub mod sip;
 pub mod wide;
@@ -18,4 +18,7 @@ pub use packed::{
 };
 pub use schedule::{conv_schedule, fc_schedule, ScheduleResult};
 pub use sip::{reference_inner_product, serial_inner_product, Sip};
-pub use wide::{wide_inner_product, wide_inner_product_slices, WideBitplaneBlock, WIDE_LANES};
+pub use wide::{
+    active_kernel_tier, cpu_features, wide_inner_product, wide_inner_product_slices, CpuFeatures,
+    KernelTier, WideBitplaneBlock, KERNEL_TIERS, WIDE_LANES,
+};

@@ -65,9 +65,9 @@
 
 use crate::config::LoomGeometry;
 use crate::loom::functional::{
-    merge_window_groups, ConvArena, FcArena, FunctionalLoom, SipKernel, WideFcJob,
+    merge_conv_tasks, ConvArena, FcArena, FunctionalLoom, SipKernel, WideFcJob,
 };
-use crate::loom::parallel;
+use crate::pool;
 use loom_model::fixed::required_precision;
 use loom_model::graph::{GraphCompute, LayerGraph};
 use loom_model::inference::{InferenceError, InferenceOptions, InferenceTrace, NetworkParams};
@@ -267,7 +267,7 @@ impl GraphCompute for FunctionalCompute {
             let per_item = self
                 .engine
                 .with_threads((self.threads / item_workers).max(1));
-            let runs = parallel::ordered_map(item_workers, inputs.len(), |i| {
+            let runs = pool::ordered_map(item_workers, inputs.len(), |i| {
                 let pa = required_precision(inputs[i].as_slice());
                 per_item.run_conv(spec, &inputs[i], weights, pa, pw)
             });
@@ -283,28 +283,33 @@ impl GraphCompute for FunctionalCompute {
         }
 
         // Wide path: pack the layer's weight planes once for the whole batch,
-        // then fan (item × window-group) tasks across one pool.
+        // then fan (item × cost-model task) jobs across one pool. Each item
+        // plans for its share of the thread budget — a batch of one gets the
+        // whole budget (intra-layer batch-of-1 parallelism), a batch as wide
+        // as the pool gets one task per item.
+        let units = self.threads.div_ceil(inputs.len()).max(1);
         let filters = FunctionalLoom::pack_wide_filters(spec, weights);
         let jobs: Vec<_> = inputs
             .iter()
             .map(|input| {
                 let pa = required_precision(input.as_slice());
-                self.engine.wide_conv_job(spec, input, &filters, pa, pw)
+                self.engine
+                    .wide_conv_job(spec, input, &filters, pa, pw, units)
             })
             .collect();
-        let groups_per_item = jobs[0].group_count();
-        let results = parallel::ordered_map_with(
+        let tasks_per_item = jobs[0].task_count();
+        let results = pool::ordered_map_with(
             self.threads,
-            inputs.len() * groups_per_item,
+            inputs.len() * tasks_per_item,
             ConvArena::default,
-            |arena, task| jobs[task / groups_per_item].run_group(arena, task % groups_per_item),
+            |arena, task| jobs[task / tasks_per_item].run_task(arena, task % tasks_per_item),
         );
         let mut results = results.into_iter();
         jobs.iter()
             .enumerate()
             .map(|(i, job)| {
-                let groups: Vec<_> = results.by_ref().take(groups_per_item).collect();
-                let run = merge_window_groups(job.filters(), job.windows(), groups);
+                let tasks: Vec<_> = results.by_ref().take(tasks_per_item).collect();
+                let run = merge_conv_tasks(job.filters(), job.windows(), tasks);
                 self.cycles[i] += run.cycles;
                 self.reduced_groups[i] += run.reduced_groups;
                 run.outputs
@@ -323,7 +328,7 @@ impl GraphCompute for FunctionalCompute {
         let pw = required_precision(weights);
         if self.engine.kernel != SipKernel::Wide {
             let item_workers = self.threads.min(inputs.len()).max(1);
-            let runs = parallel::ordered_map(item_workers, inputs.len(), |i| {
+            let runs = pool::ordered_map(item_workers, inputs.len(), |i| {
                 self.engine.run_fc(spec, &inputs[i], weights, pw)
             });
             return runs
@@ -340,8 +345,8 @@ impl GraphCompute for FunctionalCompute {
         // Wide path: inputs pack once per item, each weight row packs once
         // for the whole batch, and output-row groups fan across the pool.
         let item_slices: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
-        let job = WideFcJob::new(spec, &item_slices, weights, pw);
-        let row_chunks = parallel::ordered_map_with(
+        let job = WideFcJob::new(spec, &item_slices, weights, pw, self.threads);
+        let row_chunks = pool::ordered_map_with(
             self.threads,
             job.row_group_count(),
             FcArena::default,

@@ -14,9 +14,20 @@
 //! suite in `tests/functional_equivalence.rs` across 1–256 lanes, ragged
 //! tails, 1–16-bit precisions and all four signedness combinations).
 //!
-//! Three kernel tiers are dispatched at runtime on x86-64 and all produce
-//! identical results:
+//! Five kernel tiers are dispatched at runtime on x86-64 (the fastest
+//! detected tier is chosen once, into a process-wide [`KernelTier`]) and all
+//! produce identical results:
 //!
+//! * **AVX-512 + `vpopcntdq`** — `_mm512_popcnt_epi64` counts a whole plane
+//!   pair per instruction: two adjacent activation planes load with one
+//!   512-bit read (the plane array is contiguous), AND against the broadcast
+//!   weight plane, popcount per 64-bit lane, and `_mm512_sllv_epi64` applies
+//!   each half's plane shift in-register.
+//! * **AVX-512 (`avx512f` + `avx512bw`)** — the `vpshufb` nibble-lookup
+//!   popcount at 512-bit width for parts without `vpopcntdq`: four
+//!   activation planes fold into one `_mm512_sad_epu8` (two per load, byte
+//!   counts combined as `c01 + 4·c23`), with per-half shifts applied by
+//!   `_mm512_sllv_epi64`.
 //! * **AVX2** — `_mm256_and_si256` + a `vpshufb` nibble-lookup popcount
 //!   (`_mm256_sad_epu8` folds the byte counts into four lane sums that are
 //!   shift-accumulated vector-wide, one horizontal reduction per weight bit).
@@ -430,12 +441,362 @@ unsafe fn wide_product_avx2(
     positive - negated
 }
 
+/// Broadcasts a 256-bit weight plane into both halves of a zmm register, so
+/// one 512-bit AND pairs it against two adjacent activation planes at once.
+/// (`_mm512_inserti64x4` needs only `avx512f`, unlike `_mm512_broadcast_i64x4`
+/// which pulls in `avx512dq`.)
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn broadcast_plane_512(plane: &[u64; WIDE_WORDS]) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    let wp = _mm256_loadu_si256(plane.as_ptr().cast());
+    _mm512_inserti64x4(_mm512_castsi256_si512(wp), wp, 1)
+}
+
+/// Loads activation planes `ab` and `ab + 1` with one 512-bit read. The
+/// `planes` array is contiguous (`[[u64; 4]; 16]`), so adjacent planes are
+/// adjacent in memory; the caller guarantees `ab + 1 < MAX_PRECISION`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn load_plane_pair_512(block: &WideBitplaneBlock, ab: usize) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    debug_assert!(ab + 1 < usize::from(MAX_PRECISION));
+    _mm512_loadu_si512(
+        block
+            .planes
+            .as_ptr()
+            .cast::<u64>()
+            .add(ab * WIDE_WORDS)
+            .cast(),
+    )
+}
+
+/// Loads activation plane `ab` into the low half of a zmm register, upper
+/// half zeroed (odd-`pa` tails and the MSB correction plane).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn load_plane_single_512(
+    block: &WideBitplaneBlock,
+    ab: usize,
+) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    _mm512_maskz_loadu_epi64(
+        0x0f,
+        block
+            .planes
+            .as_ptr()
+            .cast::<u64>()
+            .add(ab * WIDE_WORDS)
+            .cast(),
+    )
+}
+
+/// Per-pair shift vector for [`_mm512_sllv_epi64`]: lanes 0–3 shift by `ab`
+/// (the first plane of the pair), lanes 4–7 by `ab + 1`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn pair_shifts_512(ab: usize) -> std::arch::x86_64::__m512i {
+    use std::arch::x86_64::*;
+    let lo = ab as i64;
+    _mm512_setr_epi64(lo, lo, lo, lo, lo + 1, lo + 1, lo + 1, lo + 1)
+}
+
+/// AVX-512 `vpshufb` kernel (`avx512f` + `avx512bw`): the AVX2 nibble-lookup
+/// popcount at double width. Each 512-bit load covers two adjacent activation
+/// planes; two loads (four planes) combine their byte counts as `c01 + 4·c23`
+/// (≤ 40 per byte) before one `_mm512_sad_epu8`, and `_mm512_sllv_epi64`
+/// applies each half's activation-plane shift so the accumulator structure —
+/// `body` / `wmsb` plus the two activation-MSB correctors — matches
+/// [`wide_product_avx2`] exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn wide_product_avx512(
+    w: &WideBitplaneBlock,
+    a: &WideBitplaneBlock,
+    pw: usize,
+    pa: usize,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    use std::arch::x86_64::*;
+    #[rustfmt::skip]
+    let lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    ));
+    let low_mask = _mm512_set1_epi8(0x0f);
+    let zero = _mm512_setzero_si512();
+    // Byte-wise popcount of `wp & ap`, both nibble halves (same scheme as the
+    // AVX2 kernel: `wp_lo` has high nibbles zeroed, so `wp_lo & ap` is the
+    // AND's low nibbles).
+    macro_rules! pair_counts {
+        ($wp_lo:expr, $wp_hi:expr, $ap:expr) => {{
+            let ap = $ap;
+            let lo = _mm512_and_si512($wp_lo, ap);
+            let hi = _mm512_and_si512($wp_hi, _mm512_srli_epi32::<4>(ap));
+            _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo), _mm512_shuffle_epi8(lut, hi))
+        }};
+    }
+    let mut wb_shifts = [_mm_setzero_si128(); MAX_PRECISION as usize];
+    for (bit, shift) in wb_shifts.iter_mut().enumerate() {
+        *shift = _mm_cvtsi32_si128(bit as i32);
+    }
+    let pa_msb = pa - 1;
+    // Same overflow headroom argument as the AVX2 kernel: a sad lane sums
+    // eight bytes of ≤ 40 (< 2^9), shifted by ≤ 15 and summed over ≤ 16
+    // weight bits shifted by ≤ 15 — comfortably inside i64.
+    let mut body = zero;
+    let mut body_msb = zero;
+    let mut wmsb = zero;
+    let mut wmsb_msb = zero;
+    let w_last = if weights_signed { pw - 1 } else { pw };
+    for wb in 0..pw {
+        let wz = broadcast_plane_512(&w.planes[wb]);
+        let wp_lo = _mm512_and_si512(wz, low_mask);
+        let wp_hi = _mm512_and_si512(_mm512_srli_epi32::<4>(wz), low_mask);
+        let mut acc = zero;
+        let mut ab = 0usize;
+        while ab + 3 < pa {
+            let c01 = pair_counts!(wp_lo, wp_hi, load_plane_pair_512(a, ab));
+            let c23 = pair_counts!(wp_lo, wp_hi, load_plane_pair_512(a, ab + 2));
+            // c01 + 4·c23: half 0 carries planes ab and ab+2, half 1 carries
+            // ab+1 and ab+3, each +2 plane folded in at byte level.
+            let c23x2 = _mm512_add_epi8(c23, c23);
+            let t = _mm512_add_epi8(c01, _mm512_add_epi8(c23x2, c23x2));
+            let sums = _mm512_sad_epu8(t, zero);
+            acc = _mm512_add_epi64(acc, _mm512_sllv_epi64(sums, pair_shifts_512(ab)));
+            ab += 4;
+        }
+        while ab < pa {
+            let (ap, step) = if ab + 1 < pa {
+                (load_plane_pair_512(a, ab), 2)
+            } else {
+                (load_plane_single_512(a, ab), 1)
+            };
+            let sums = _mm512_sad_epu8(pair_counts!(wp_lo, wp_hi, ap), zero);
+            acc = _mm512_add_epi64(acc, _mm512_sllv_epi64(sums, pair_shifts_512(ab)));
+            ab += step;
+        }
+        let acc = _mm512_sll_epi64(acc, wb_shifts[wb]);
+        if wb < w_last {
+            body = _mm512_add_epi64(body, acc);
+        } else {
+            wmsb = _mm512_add_epi64(wmsb, acc);
+        }
+        if activations_signed {
+            let msb = _mm512_sll_epi64(
+                _mm512_sad_epu8(
+                    pair_counts!(wp_lo, wp_hi, load_plane_single_512(a, pa_msb)),
+                    zero,
+                ),
+                wb_shifts[wb],
+            );
+            if wb < w_last {
+                body_msb = _mm512_add_epi64(body_msb, msb);
+            } else {
+                wmsb_msb = _mm512_add_epi64(wmsb_msb, msb);
+            }
+        }
+    }
+    let mut positive = _mm512_reduce_add_epi64(body);
+    let mut negated = _mm512_reduce_add_epi64(wmsb);
+    if activations_signed {
+        positive -= _mm512_reduce_add_epi64(body_msb) << (pa_msb + 1);
+        negated -= _mm512_reduce_add_epi64(wmsb_msb) << (pa_msb + 1);
+    }
+    positive - negated
+}
+
+/// AVX-512 `vpopcntdq` kernel: `_mm512_popcnt_epi64` counts each 64-bit lane
+/// of the AND directly — no nibble lookup, no byte folding. Two activation
+/// planes per load, per-half plane shifts via `_mm512_sllv_epi64`, and the
+/// same four accumulators as the other vector kernels. Kept as a separate
+/// function (not a const-generic switch) so `avx512vpopcntdq` codegen never
+/// reaches parts that only detect `avx512f`/`avx512bw`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn wide_product_avx512_vpopcnt(
+    w: &WideBitplaneBlock,
+    a: &WideBitplaneBlock,
+    pw: usize,
+    pa: usize,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    use std::arch::x86_64::*;
+    let zero = _mm512_setzero_si512();
+    let mut wb_shifts = [_mm_setzero_si128(); MAX_PRECISION as usize];
+    for (bit, shift) in wb_shifts.iter_mut().enumerate() {
+        *shift = _mm_cvtsi32_si128(bit as i32);
+    }
+    let pa_msb = pa - 1;
+    let mut body = zero;
+    let mut body_msb = zero;
+    let mut wmsb = zero;
+    let mut wmsb_msb = zero;
+    let w_last = if weights_signed { pw - 1 } else { pw };
+    for wb in 0..pw {
+        let wz = broadcast_plane_512(&w.planes[wb]);
+        let mut acc = zero;
+        let mut ab = 0usize;
+        while ab < pa {
+            let (ap, step) = if ab + 1 < pa {
+                (load_plane_pair_512(a, ab), 2)
+            } else {
+                (load_plane_single_512(a, ab), 1)
+            };
+            let counts = _mm512_popcnt_epi64(_mm512_and_si512(wz, ap));
+            acc = _mm512_add_epi64(acc, _mm512_sllv_epi64(counts, pair_shifts_512(ab)));
+            ab += step;
+        }
+        let acc = _mm512_sll_epi64(acc, wb_shifts[wb]);
+        if wb < w_last {
+            body = _mm512_add_epi64(body, acc);
+        } else {
+            wmsb = _mm512_add_epi64(wmsb, acc);
+        }
+        if activations_signed {
+            let counts =
+                _mm512_popcnt_epi64(_mm512_and_si512(wz, load_plane_single_512(a, pa_msb)));
+            let msb = _mm512_sll_epi64(counts, wb_shifts[wb]);
+            if wb < w_last {
+                body_msb = _mm512_add_epi64(body_msb, msb);
+            } else {
+                wmsb_msb = _mm512_add_epi64(wmsb_msb, msb);
+            }
+        }
+    }
+    let mut positive = _mm512_reduce_add_epi64(body);
+    let mut negated = _mm512_reduce_add_epi64(wmsb);
+    if activations_signed {
+        positive -= _mm512_reduce_add_epi64(body_msb) << (pa_msb + 1);
+        negated -= _mm512_reduce_add_epi64(wmsb_msb) << (pa_msb + 1);
+    }
+    positive - negated
+}
+
+/// The kernel tiers [`wide_inner_product`] dispatches across, slowest to
+/// fastest. All tiers compute bit-identical results; the fastest detected one
+/// is selected once per process ([`active_kernel_tier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelTier {
+    /// The plain Rust plane-pair loop; always available.
+    Portable,
+    /// [`Portable`](Self::Portable) compiled with scalar `popcnt` enabled.
+    Popcnt,
+    /// 256-bit `vpshufb` nibble-lookup popcount.
+    Avx2,
+    /// 512-bit `vpshufb` nibble-lookup popcount (`avx512f` + `avx512bw`).
+    Avx512,
+    /// 512-bit `vpopcntdq` per-lane popcount (`avx512f` + `avx512vpopcntdq`).
+    Avx512Vpopcnt,
+}
+
+/// Every tier, slowest to fastest (the order dispatch prefers, reversed).
+pub const KERNEL_TIERS: [KernelTier; 5] = [
+    KernelTier::Portable,
+    KernelTier::Popcnt,
+    KernelTier::Avx2,
+    KernelTier::Avx512,
+    KernelTier::Avx512Vpopcnt,
+];
+
+impl KernelTier {
+    /// Stable lower-case name (used in bench JSON and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Portable => "portable",
+            KernelTier::Popcnt => "popcnt",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+            KernelTier::Avx512Vpopcnt => "avx512-vpopcnt",
+        }
+    }
+
+    /// Whether the running CPU supports this tier.
+    pub fn detected(self) -> bool {
+        match self {
+            KernelTier::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Popcnt => std::arch::is_x86_feature_detected!("popcnt"),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512Vpopcnt => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// The tier [`wide_inner_product`] uses on this machine: the fastest detected
+/// one, chosen once per process.
+pub fn active_kernel_tier() -> KernelTier {
+    static TIER: std::sync::OnceLock<KernelTier> = std::sync::OnceLock::new();
+    *TIER.get_or_init(|| {
+        KERNEL_TIERS
+            .into_iter()
+            .rev()
+            .find(|tier| tier.detected())
+            .unwrap_or(KernelTier::Portable)
+    })
+}
+
+/// Runtime-detected CPU features relevant to the wide kernels, for bench
+/// provenance reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct CpuFeatures {
+    pub popcnt: bool,
+    pub avx2: bool,
+    pub avx512f: bool,
+    pub avx512bw: bool,
+    pub avx512vpopcntdq: bool,
+}
+
+/// Detects the wide-kernel CPU features on the running machine (all `false`
+/// off x86-64).
+pub fn cpu_features() -> CpuFeatures {
+    #[cfg(target_arch = "x86_64")]
+    {
+        CpuFeatures {
+            popcnt: std::arch::is_x86_feature_detected!("popcnt"),
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+            avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+            avx512bw: std::arch::is_x86_feature_detected!("avx512bw"),
+            avx512vpopcntdq: std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        CpuFeatures {
+            popcnt: false,
+            avx2: false,
+            avx512f: false,
+            avx512bw: false,
+            avx512vpopcntdq: false,
+        }
+    }
+}
+
 /// Computes the inner product of two wide blocks exactly the way
 /// [`super::sip::serial_inner_product`] does — the same weight-bit outer /
 /// activation-bit inner schedule, the same MSB negations — with each plane
-/// pair evaluated 256 lanes at a time. Dispatches at runtime to the AVX2
-/// kernel, the `popcnt`-enabled scalar kernel, or the portable loop; all
-/// three are bit-identical.
+/// pair evaluated 256 lanes at a time. Dispatches once per process to the
+/// fastest detected [`KernelTier`] — AVX-512 (`vpopcntdq` or `vpshufb`),
+/// AVX2, the `popcnt`-enabled scalar kernel, or the portable loop; all
+/// tiers are bit-identical.
 ///
 /// The blocks may have different lane counts: missing lanes pack as zero
 /// planes and contribute nothing.
@@ -450,31 +811,58 @@ pub fn wide_inner_product(
     let (pw, pa) = (usize::from(pw.bits()), usize::from(pa.bits()));
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the `avx2` feature was just detected at runtime.
-            return unsafe {
-                wide_product_avx2(
-                    weights,
-                    activations,
-                    pw,
-                    pa,
-                    weights_signed,
-                    activations_signed,
-                )
-            };
-        }
-        if std::arch::is_x86_feature_detected!("popcnt") {
-            // SAFETY: the `popcnt` feature was just detected at runtime.
-            return unsafe {
-                wide_product_popcnt(
-                    weights,
-                    activations,
-                    pw,
-                    pa,
-                    weights_signed,
-                    activations_signed,
-                )
-            };
+        // SAFETY (each arm): `active_kernel_tier` only selects tiers whose
+        // features were detected on this CPU.
+        match active_kernel_tier() {
+            KernelTier::Avx512Vpopcnt => {
+                return unsafe {
+                    wide_product_avx512_vpopcnt(
+                        weights,
+                        activations,
+                        pw,
+                        pa,
+                        weights_signed,
+                        activations_signed,
+                    )
+                };
+            }
+            KernelTier::Avx512 => {
+                return unsafe {
+                    wide_product_avx512(
+                        weights,
+                        activations,
+                        pw,
+                        pa,
+                        weights_signed,
+                        activations_signed,
+                    )
+                };
+            }
+            KernelTier::Avx2 => {
+                return unsafe {
+                    wide_product_avx2(
+                        weights,
+                        activations,
+                        pw,
+                        pa,
+                        weights_signed,
+                        activations_signed,
+                    )
+                };
+            }
+            KernelTier::Popcnt => {
+                return unsafe {
+                    wide_product_popcnt(
+                        weights,
+                        activations,
+                        pw,
+                        pa,
+                        weights_signed,
+                        activations_signed,
+                    )
+                };
+            }
+            KernelTier::Portable => {}
         }
     }
     wide_product_core(
@@ -608,8 +996,87 @@ mod tests {
                     wide_product_avx2(&w, &a, pw, pa, true, true)
                 });
             }
+            if KernelTier::Avx512.detected() {
+                // SAFETY: tier features detected above.
+                assert_eq!(portable, unsafe {
+                    wide_product_avx512(&w, &a, pw, pa, true, true)
+                });
+            }
+            if KernelTier::Avx512Vpopcnt.detected() {
+                // SAFETY: tier features detected above.
+                assert_eq!(portable, unsafe {
+                    wide_product_avx512_vpopcnt(&w, &a, pw, pa, true, true)
+                });
+            }
         }
         assert_eq!(portable, reference_inner_product(&weights, &activations));
+    }
+
+    #[test]
+    fn avx512_tiers_match_portable_across_precisions_and_signedness() {
+        // Sweeps every (pw, pa) pair so both the plane-pair remainder (odd
+        // pa) and the four-plane fast path of the AVX-512 kernels are hit,
+        // under all four signedness combinations.
+        #[cfg(target_arch = "x86_64")]
+        for lanes in [1, 63, 130, 256] {
+            let weights = ragged_values(lanes);
+            let activations: Vec<i32> = ragged_values(lanes).iter().map(|v| v / 5).collect();
+            let w = WideBitplaneBlock::pack(&weights);
+            let a = WideBitplaneBlock::pack(&activations);
+            for pw in 1..=16usize {
+                for pa in 1..=16usize {
+                    for (ws, as_) in [(true, true), (true, false), (false, true), (false, false)] {
+                        let portable = wide_product_core(&w, &a, pw, pa, ws, as_);
+                        if KernelTier::Avx512.detected() {
+                            // SAFETY: tier features detected above.
+                            let got = unsafe { wide_product_avx512(&w, &a, pw, pa, ws, as_) };
+                            assert_eq!(portable, got, "avx512 {lanes} lanes pw={pw} pa={pa}");
+                        }
+                        if KernelTier::Avx512Vpopcnt.detected() {
+                            // SAFETY: tier features detected above.
+                            let got =
+                                unsafe { wide_product_avx512_vpopcnt(&w, &a, pw, pa, ws, as_) };
+                            assert_eq!(portable, got, "vpopcnt {lanes} lanes pw={pw} pa={pa}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_tier_is_detected_and_fastest() {
+        let active = active_kernel_tier();
+        assert!(active.detected());
+        for tier in KERNEL_TIERS {
+            if tier > active {
+                assert!(
+                    !tier.detected(),
+                    "{} beats active {}",
+                    tier.name(),
+                    active.name()
+                );
+            }
+        }
+        // The tier names are stable identifiers for the bench JSON.
+        let names: Vec<_> = KERNEL_TIERS.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            ["portable", "popcnt", "avx2", "avx512", "avx512-vpopcnt"]
+        );
+        let features = cpu_features();
+        // The portable tier never depends on features; vector tiers imply
+        // their feature bits.
+        assert!(KernelTier::Portable.detected());
+        assert_eq!(KernelTier::Avx2.detected(), features.avx2);
+        assert_eq!(
+            KernelTier::Avx512.detected(),
+            features.avx512f && features.avx512bw
+        );
+        assert_eq!(
+            KernelTier::Avx512Vpopcnt.detected(),
+            features.avx512f && features.avx512vpopcntdq
+        );
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! The persistent work-stealing worker pool every parallel path in the
+//! workspace shares.
+//!
+//! The previous substrate (`loom::parallel`) spawned scoped threads per layer
+//! and parked results in per-job `Mutex<Option<R>>` slots; at thousands of
+//! layer dispatches per network that pays thread spawn/join, allocator and
+//! lock traffic on every layer. This module replaces it with:
+//!
+//! * **Persistent workers** — spawned once (lazily, growing up to the largest
+//!   thread budget ever requested) and parked on a condvar between batches.
+//!   The submitting thread always participates as worker 0, so a
+//!   budget of 1 never touches another thread and the serial path is the
+//!   parallel path.
+//! * **Chase-Lev-style deques** — each participant owns a deque prefilled
+//!   with its contiguous share of job indices; it pops from the bottom
+//!   (ascending, cache-friendly) while idle participants steal from the top.
+//!   The deques are fixed-capacity (every index is known up front), which
+//!   removes the growth path of the full Chase-Lev algorithm; the pop/steal
+//!   protocol is the classic one on `AtomicIsize` top/bottom with a `SeqCst`
+//!   fence.
+//! * **Write-once result slots** — results land in `UnsafeCell<MaybeUninit>`
+//!   slots indexed by job, with a single atomic countdown publishing
+//!   completion. No per-job mutex.
+//! * **Persistent scratch arenas** — every worker (and the caller thread)
+//!   owns a `TypeId`-keyed scratch store. [`ordered_map_with`]'s `init` runs
+//!   at most once per worker per state type *for the life of the worker*, so
+//!   the pack arenas of the wide datapath survive across layers and batches
+//!   instead of being rebuilt per call. The inline (1-thread) path uses the
+//!   same store through a thread-local, so its `init` semantics are identical
+//!   to the pooled path — pinned by a test below.
+//!
+//! **Determinism:** results are keyed by job index and merged in job order;
+//! scratch state never influences a job's result (jobs must be pure functions
+//! of their index); which worker runs which job is the only thing scheduling
+//! changes. Every caller's outputs are therefore bit-identical at any thread
+//! count, which the proptest suite in `tests/pool_invariance.rs` pins with
+//! skewed task costs that force stealing.
+
+use std::any::{Any, TypeId};
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::HashMap;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Per-worker scratch storage, keyed by state type. One entry per
+/// [`ordered_map_with`] state type, created on first use and kept for the
+/// life of the worker — the arena path that lets pack buffers survive across
+/// layers.
+#[derive(Default)]
+pub struct ScratchStore {
+    entries: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl ScratchStore {
+    /// The worker's state of type `S`, created by `init` on first use.
+    fn get_or_insert<S: Send + 'static>(&mut self, init: impl FnOnce() -> S) -> &mut S {
+        self.entries
+            .entry(TypeId::of::<S>())
+            .or_insert_with(|| Box::new(init()))
+            .downcast_mut::<S>()
+            .expect("scratch entry keyed by its own TypeId")
+    }
+}
+
+thread_local! {
+    /// The submitting thread's scratch store: used by the inline path and by
+    /// the caller's stint as worker 0, so both paths share one set of arenas
+    /// with identical `init` semantics.
+    static CALLER_SCRATCH: RefCell<ScratchStore> = RefCell::new(ScratchStore::default());
+}
+
+/// Runs `f` with the calling thread's persistent scratch store. The store is
+/// moved out for the duration (and restored after) so a nested pool dispatch
+/// on the same thread sees an independent store instead of a borrow panic.
+fn with_caller_scratch<T>(f: impl FnOnce(&mut ScratchStore) -> T) -> T {
+    let mut store = CALLER_SCRATCH.with(|cell| cell.take());
+    let out = f(&mut store);
+    CALLER_SCRATCH.with(|cell| cell.replace(store));
+    out
+}
+
+/// A fixed-capacity work-stealing deque of job indices. The buffer is filled
+/// before the owning batch is published and never written again, so only
+/// `top`/`bottom` need atomicity; the pop/steal protocol is Chase-Lev's.
+struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    /// Job indices, owner end last: the owner pops ascending job order from
+    /// the back while thieves steal descending from the front.
+    buf: Vec<usize>,
+}
+
+impl Deque {
+    fn prefilled(jobs: std::ops::Range<usize>) -> Self {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(jobs.len() as isize),
+            buf: jobs.rev().collect(),
+        }
+    }
+
+    /// Owner-only: take a job from the bottom.
+    fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = self.buf[b as usize];
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(job);
+            }
+            Some(job)
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: take a job from the top. Returns `None` only when the deque
+    /// was observed empty (CAS races retry internally).
+    fn steal(&self) -> Option<usize> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            let job = self.buf[t as usize];
+            if self
+                .top
+                .compare_exchange_weak(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(job);
+            }
+        }
+    }
+}
+
+/// The type-erased job body: `(job index, worker scratch)`.
+type Task<'a> = dyn Fn(usize, &mut ScratchStore) + Sync + 'a;
+
+/// One submitted batch of jobs. Lives in an `Arc` shared by the submitter and
+/// every participating worker; the job closure itself is a raw pointer into
+/// the submitter's stack frame, valid because the submitter blocks until
+/// `remaining` hits zero and a job is only executed before its decrement.
+struct Batch {
+    /// Borrowed job closure. SAFETY: dereferenced only while the job it runs
+    /// has not yet been counted into `remaining`'s countdown, which the
+    /// submitter waits out before returning.
+    task: *const Task<'static>,
+    /// One deque per participant slot (slot 0 is the submitter).
+    deques: Vec<Deque>,
+    /// Jobs not yet finished; the submitter returns when this hits zero.
+    remaining: AtomicUsize,
+    /// Helper slots handed out. Helpers beyond `deques.len() - 1` bounce.
+    joiners: AtomicUsize,
+    /// First panic payload raised by a job, re-raised on the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced under the liveness protocol documented
+// on the field; everything else is Sync by construction.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    /// Claims a helper slot, or `None` when the batch already has its full
+    /// complement of participants.
+    fn claim_helper_slot(&self) -> Option<usize> {
+        let slot = self.joiners.fetch_add(1, Ordering::AcqRel) + 1;
+        (slot < self.deques.len()).then_some(slot)
+    }
+
+    /// Runs jobs as participant `slot` until every deque is (observed) empty:
+    /// drain the own deque bottom-up, then steal from the others.
+    fn participate(&self, slot: usize, scratch: &mut ScratchStore) {
+        let own = &self.deques[slot];
+        loop {
+            while let Some(job) = own.pop() {
+                self.execute(job, scratch);
+            }
+            let n = self.deques.len();
+            let mut stole = false;
+            for k in 1..n {
+                if let Some(job) = self.deques[(slot + k) % n].steal() {
+                    self.execute(job, scratch);
+                    stole = true;
+                    break;
+                }
+            }
+            if !stole {
+                // Every deque observed empty; in-flight jobs belong to other
+                // participants and are covered by `remaining`.
+                return;
+            }
+        }
+    }
+
+    fn execute(&self, job: usize, scratch: &mut ScratchStore) {
+        // SAFETY: this job has not yet decremented `remaining`, so the
+        // submitter is still blocked in `run_erased` and the closure (and
+        // everything it borrows) is alive.
+        let task = unsafe { &*self.task };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(job, scratch))) {
+            let mut first = self.panic.lock().expect("panic slot poisoned");
+            first.get_or_insert(payload);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().expect("done flag poisoned") = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Pool state guarded by one mutex: the open batches and how many persistent
+/// helpers exist.
+struct PoolState {
+    /// Bumped on every submission so parked workers know to rescan.
+    epoch: u64,
+    /// Batches with unfinished work. Usually one; concurrent submitters (e.g.
+    /// parallel test threads) simply coexist, each draining its own batch.
+    open: Vec<Arc<Batch>>,
+    /// Persistent helper threads spawned so far.
+    helpers: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+/// The persistent work-stealing pool. One process-wide instance serves every
+/// caller (see [`ordered_map`] / [`ordered_map_with`]); helper threads are
+/// spawned lazily up to the largest budget ever requested and parked between
+/// batches.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; helpers are spawned on demand by the first parallel
+    /// submission.
+    pub fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    open: Vec::new(),
+                    helpers: 0,
+                }),
+                work_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide shared pool.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(WorkerPool::new)
+    }
+
+    /// As [`ordered_map_with`], on this pool.
+    pub fn ordered_map_with<S, R, I, F>(&self, threads: usize, jobs: usize, init: I, f: F) -> Vec<R>
+    where
+        S: Send + 'static,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        if threads <= 1 || jobs <= 1 {
+            // Inline path: same thread-persistent scratch store as a pooled
+            // worker, so `init` runs at most once per state type here too.
+            return with_caller_scratch(|scratch| {
+                (0..jobs)
+                    .map(|i| f(scratch.get_or_insert(&init), i))
+                    .collect()
+            });
+        }
+
+        let slots: Vec<UnsafeCell<MaybeUninit<R>>> = (0..jobs)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        struct Slots<'a, R>(&'a [UnsafeCell<MaybeUninit<R>>]);
+        // SAFETY: each slot is written by exactly one job (jobs are handed
+        // out uniquely by the deques) and only read after all jobs finish.
+        unsafe impl<R: Send> Sync for Slots<'_, R> {}
+        impl<R> Slots<'_, R> {
+            fn write(&self, job: usize, value: R) {
+                // SAFETY: unique writer for this job index; see the impl above.
+                unsafe { (*self.0[job].get()).write(value) };
+            }
+        }
+        let slot_ref = Slots(&slots);
+
+        let body = |job: usize, scratch: &mut ScratchStore| {
+            let state = scratch.get_or_insert(&init);
+            slot_ref.write(job, f(state, job));
+        };
+        self.run_erased(threads, jobs, &body);
+
+        // All jobs completed without panic: every slot is initialized.
+        slots
+            .into_iter()
+            .map(|slot| unsafe { slot.into_inner().assume_init() })
+            .collect()
+    }
+
+    /// Submits `jobs` indices to `threads` participants (the caller plus
+    /// helpers), blocks until all complete, and re-raises the first job
+    /// panic. `threads >= 2` and `jobs >= 2` (the callers handle inline).
+    fn run_erased(&self, threads: usize, jobs: usize, task: &Task<'_>) {
+        let participants = threads.min(jobs);
+        let deques = (0..participants)
+            .map(|p| Deque::prefilled(jobs * p / participants..jobs * (p + 1) / participants))
+            .collect();
+        let batch = Arc::new(Batch {
+            // SAFETY: lifetime-erased borrow; see the field's invariant.
+            task: unsafe {
+                std::mem::transmute::<&Task<'_>, &'static Task<'static>>(task)
+                    as *const Task<'static>
+            },
+            deques,
+            remaining: AtomicUsize::new(jobs),
+            joiners: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.epoch += 1;
+            state.open.push(batch.clone());
+            let want = participants - 1;
+            while state.helpers < want {
+                let id = state.helpers;
+                let shared = self.shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("loom-pool-{id}"))
+                    .spawn(move || helper_loop(shared))
+                    .is_ok();
+                if !spawned {
+                    // Thread exhaustion: the caller still completes the batch
+                    // alone; just stop growing.
+                    break;
+                }
+                state.helpers += 1;
+            }
+            self.shared.work_cv.notify_all();
+        }
+
+        // Participate as worker 0, then wait out any in-flight steals.
+        with_caller_scratch(|scratch| batch.participate(0, scratch));
+        {
+            let mut done = batch.done.lock().expect("done flag poisoned");
+            while !*done {
+                done = batch.done_cv.wait(done).expect("done flag poisoned");
+            }
+        }
+
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.open.retain(|open| !Arc::ptr_eq(open, &batch));
+        }
+
+        let payload = batch.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A persistent helper: park on the condvar, join whatever open batches have
+/// a free participant slot, repeat.
+fn helper_loop(shared: Arc<PoolShared>) {
+    let mut scratch = ScratchStore::default();
+    let mut seen_epoch = 0u64;
+    loop {
+        let batches: Vec<Arc<Batch>> = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if state.epoch != seen_epoch && !state.open.is_empty() {
+                    seen_epoch = state.epoch;
+                    break state.open.clone();
+                }
+                seen_epoch = state.epoch;
+                state = shared.work_cv.wait(state).expect("pool state poisoned");
+            }
+        };
+        for batch in batches {
+            if let Some(slot) = batch.claim_helper_slot() {
+                batch.participate(slot, &mut scratch);
+            }
+        }
+    }
+}
+
+/// Runs `f(0..jobs)` across `threads` pool participants and returns the
+/// results in job order. With one thread (or at most one job) the jobs run
+/// inline on the caller, in order.
+pub fn ordered_map<R, F>(threads: usize, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    ordered_map_with(threads, jobs, || (), |(), i| f(i))
+}
+
+/// [`ordered_map`] with per-worker scratch state on the shared global pool:
+/// each participating worker materialises an `S` via `init` *at most once per
+/// worker lifetime* (the state persists across calls — the arena pattern) and
+/// threads it mutably through each of its jobs. Results are returned in job
+/// order; scratch must never influence a result, so determinism is unaffected
+/// by which worker runs which job.
+pub fn ordered_map_with<S, R, I, F>(threads: usize, jobs: usize, init: I, f: F) -> Vec<R>
+where
+    S: Send + 'static,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    WorkerPool::global().ordered_map_with(threads, jobs, init, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn ordered_map_is_order_preserving_and_thread_invariant() {
+        let serial = ordered_map(1, 40, |i| i * i);
+        for threads in [2, 4, 8] {
+            assert_eq!(ordered_map(threads, 40, |i| i * i), serial);
+        }
+        assert_eq!(serial, (0..40).map(|i| i * i).collect::<Vec<_>>());
+        assert!(ordered_map(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn ordered_map_with_reuses_worker_state_deterministically() {
+        // The scratch buffer grows per worker, but results only depend on the
+        // job index — identical at every thread count.
+        struct Grower(Vec<usize>);
+        let run = |threads| {
+            ordered_map_with(
+                threads,
+                25,
+                || Grower(Vec::new()),
+                |scratch: &mut Grower, i| {
+                    scratch.0.push(i);
+                    i + scratch.0.capacity().min(1) * 100
+                },
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn skewed_job_costs_still_merge_in_order() {
+        // Front-loaded cost forces thieves to steal the tail; the output
+        // order must not care.
+        let work = |i: usize| {
+            let spin = if i < 4 { 200_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        };
+        let serial = ordered_map(1, 64, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(ordered_map(threads, 64, work), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn inline_and_pooled_paths_share_init_semantics() {
+        // Satellite pin: `init` runs at most once per worker per state type,
+        // on the inline path exactly like the pooled path — the 1-job and
+        // 1-thread cases no longer rebuild worker state per call.
+        struct InlineProbe;
+        static INLINE_INITS: AtomicUsize = AtomicUsize::new(0);
+        for _ in 0..3 {
+            // Three rounds of two dispatches — including a 1-job call with a
+            // parallel thread budget, the old asymmetric case — and still one
+            // init total on this thread.
+            ordered_map_with(
+                4,
+                1,
+                || {
+                    INLINE_INITS.fetch_add(1, Ordering::Relaxed);
+                    InlineProbe
+                },
+                |_probe: &mut InlineProbe, i| i,
+            );
+            ordered_map_with(
+                1,
+                5,
+                || {
+                    INLINE_INITS.fetch_add(1, Ordering::Relaxed);
+                    InlineProbe
+                },
+                |_probe: &mut InlineProbe, i| i,
+            );
+        }
+        assert_eq!(INLINE_INITS.load(Ordering::Relaxed), 1);
+
+        struct PooledProbe;
+        static POOLED_INITS: AtomicUsize = AtomicUsize::new(0);
+        let mut executors = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let ids = ordered_map_with(
+                4,
+                64,
+                || {
+                    POOLED_INITS.fetch_add(1, Ordering::Relaxed);
+                    PooledProbe
+                },
+                |_probe: &mut PooledProbe, _i| std::thread::current().id(),
+            );
+            executors.extend(ids);
+        }
+        // At most one init per distinct worker thread over all four batches —
+        // the arenas survive across dispatches instead of being rebuilt.
+        assert!(POOLED_INITS.load(Ordering::Relaxed) <= executors.len());
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_submitter() {
+        let outcome = std::panic::catch_unwind(|| {
+            ordered_map(4, 16, |i| {
+                if i == 7 {
+                    panic!("job 7 exploded");
+                }
+                i
+            })
+        });
+        let payload = outcome.expect_err("panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "job 7 exploded");
+        // The pool survives a panicked batch.
+        assert_eq!(ordered_map(4, 8, |i| i + 1), (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline_without_helpers() {
+        let caller = std::thread::current().id();
+        let ids = ordered_map(1, 6, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+}
