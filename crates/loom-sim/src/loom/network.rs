@@ -297,18 +297,30 @@ impl GraphCompute for FunctionalCompute {
                     .wide_conv_job(spec, input, &filters, pa, pw, units)
             })
             .collect();
-        let tasks_per_item = jobs[0].task_count();
+        // Each item plans from its *own* activation precision, so task counts
+        // can differ across the batch: map the flat pool index to
+        // (item, local task) through a prefix sum rather than assuming item
+        // 0's count holds for everyone.
+        let mut task_base = Vec::with_capacity(jobs.len());
+        let mut total_tasks = 0usize;
+        for job in &jobs {
+            task_base.push(total_tasks);
+            total_tasks += job.task_count();
+        }
         let results = pool::ordered_map_with(
             self.threads,
-            inputs.len() * tasks_per_item,
+            total_tasks,
             ConvArena::default,
-            |arena, task| jobs[task / tasks_per_item].run_task(arena, task % tasks_per_item),
+            |arena, task| {
+                let item = task_base.partition_point(|&base| base <= task) - 1;
+                jobs[item].run_task(arena, task - task_base[item])
+            },
         );
         let mut results = results.into_iter();
         jobs.iter()
             .enumerate()
             .map(|(i, job)| {
-                let tasks: Vec<_> = results.by_ref().take(tasks_per_item).collect();
+                let tasks: Vec<_> = results.by_ref().take(job.task_count()).collect();
                 let run = merge_conv_tasks(job.filters(), job.windows(), tasks);
                 self.cycles[i] += run.cycles;
                 self.reduced_groups[i] += run.reduced_groups;

@@ -18,9 +18,10 @@
 //!   removes the growth path of the full Chase-Lev algorithm; the pop/steal
 //!   protocol is the classic one on `AtomicIsize` top/bottom with a `SeqCst`
 //!   fence.
-//! * **Write-once result slots** — results land in `UnsafeCell<MaybeUninit>`
+//! * **Write-once result slots** — results land in `UnsafeCell<Option>`
 //!   slots indexed by job, with a single atomic countdown publishing
-//!   completion. No per-job mutex.
+//!   completion. No per-job mutex, and a panicked batch drops the results
+//!   its surviving jobs produced instead of leaking them.
 //! * **Persistent scratch arenas** — every worker (and the caller thread)
 //!   owns a `TypeId`-keyed scratch store. [`ordered_map_with`]'s `init` runs
 //!   at most once per worker per state type *for the life of the worker*, so
@@ -39,7 +40,6 @@
 use std::any::{Any, TypeId};
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::HashMap;
-use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -74,11 +74,20 @@ thread_local! {
 /// Runs `f` with the calling thread's persistent scratch store. The store is
 /// moved out for the duration (and restored after) so a nested pool dispatch
 /// on the same thread sees an independent store instead of a borrow panic.
+/// The restore lives in a drop guard so it survives `f` unwinding — an
+/// inline-path job panic (which nothing catches) must not cost the caller its
+/// arenas, keeping inline panic behavior consistent with the pooled path.
 fn with_caller_scratch<T>(f: impl FnOnce(&mut ScratchStore) -> T) -> T {
-    let mut store = CALLER_SCRATCH.with(|cell| cell.take());
-    let out = f(&mut store);
-    CALLER_SCRATCH.with(|cell| cell.replace(store));
-    out
+    struct Restore(Option<ScratchStore>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(store) = self.0.take() {
+                CALLER_SCRATCH.with(|cell| cell.replace(store));
+            }
+        }
+    }
+    let mut guard = Restore(Some(CALLER_SCRATCH.with(|cell| cell.take())));
+    f(guard.0.as_mut().expect("store held until drop"))
 }
 
 /// A fixed-capacity work-stealing deque of job indices. The buffer is filled
@@ -296,17 +305,19 @@ impl WorkerPool {
             });
         }
 
-        let slots: Vec<UnsafeCell<MaybeUninit<R>>> = (0..jobs)
-            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-            .collect();
-        struct Slots<'a, R>(&'a [UnsafeCell<MaybeUninit<R>>]);
+        // `Option` rather than `MaybeUninit`: when a job panics, `run_erased`
+        // re-raises only after every job has finished, so unwinding drops
+        // this vector — and with it every already-written result — instead
+        // of leaking them.
+        let slots: Vec<UnsafeCell<Option<R>>> = (0..jobs).map(|_| UnsafeCell::new(None)).collect();
+        struct Slots<'a, R>(&'a [UnsafeCell<Option<R>>]);
         // SAFETY: each slot is written by exactly one job (jobs are handed
         // out uniquely by the deques) and only read after all jobs finish.
         unsafe impl<R: Send> Sync for Slots<'_, R> {}
         impl<R> Slots<'_, R> {
             fn write(&self, job: usize, value: R) {
                 // SAFETY: unique writer for this job index; see the impl above.
-                unsafe { (*self.0[job].get()).write(value) };
+                unsafe { *self.0[job].get() = Some(value) };
             }
         }
         let slot_ref = Slots(&slots);
@@ -317,10 +328,10 @@ impl WorkerPool {
         };
         self.run_erased(threads, jobs, &body);
 
-        // All jobs completed without panic: every slot is initialized.
+        // All jobs completed without panic: every slot is populated.
         slots
             .into_iter()
-            .map(|slot| unsafe { slot.into_inner().assume_init() })
+            .map(|slot| slot.into_inner().expect("every job writes its slot"))
             .collect()
     }
 
@@ -431,6 +442,13 @@ where
 /// threads it mutably through each of its jobs. Results are returned in job
 /// order; scratch must never influence a result, so determinism is unaffected
 /// by which worker runs which job.
+///
+/// **Scratch is keyed by the type `S` alone, not by call site.** Two call
+/// sites that pass the same `S` share each worker's instance, and only the
+/// first of them ever runs its `init` on a given worker — so `init` must be
+/// interchangeable across all call sites using that type. Callers that need
+/// isolated state (or distinct `init` semantics) must mint a dedicated
+/// newtype per use, as the layer engines do with `ConvArena`/`FcArena`.
 pub fn ordered_map_with<S, R, I, F>(threads: usize, jobs: usize, init: I, f: F) -> Vec<R>
 where
     S: Send + 'static,
@@ -570,5 +588,74 @@ mod tests {
         let caller = std::thread::current().id();
         let ids = ordered_map(1, 6, |_| std::thread::current().id());
         assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn panicked_batch_drops_completed_results() {
+        // Jobs that finished before (or despite) a sibling's panic have
+        // already written heap-owning results into the slots; re-raising the
+        // panic must drop them, not leak them.
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] Vec<u8>);
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted(vec![0u8; 64])
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let outcome = std::panic::catch_unwind(|| {
+            ordered_map(4, 32, |i| {
+                if i == 13 {
+                    panic!("job 13 exploded");
+                }
+                Counted::new()
+            })
+        });
+        assert!(outcome.is_err(), "panic must propagate");
+        // The submitter only unwinds after every job finished, so all 31
+        // surviving results exist by now — and must all be dropped.
+        assert_eq!(
+            LIVE.load(Ordering::SeqCst),
+            0,
+            "panicked batch leaked results"
+        );
+    }
+
+    #[test]
+    fn inline_path_panic_preserves_caller_scratch() {
+        // A panic on the inline path (nothing catches the job there) must not
+        // cost the caller thread its persistent arenas: the next dispatch
+        // still finds the state from before the panic, as on the pooled path.
+        struct PanicProbe;
+        static PANIC_PATH_INITS: AtomicUsize = AtomicUsize::new(0);
+        let run = |poison: bool| {
+            ordered_map_with(
+                1,
+                2,
+                || {
+                    PANIC_PATH_INITS.fetch_add(1, Ordering::SeqCst);
+                    PanicProbe
+                },
+                move |_probe: &mut PanicProbe, i| {
+                    if poison && i == 1 {
+                        panic!("inline job exploded");
+                    }
+                    i
+                },
+            )
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run(true)));
+        assert!(outcome.is_err(), "panic must propagate");
+        assert_eq!(run(false), vec![0, 1]);
+        assert_eq!(
+            PANIC_PATH_INITS.load(Ordering::SeqCst),
+            1,
+            "inline panic dropped the caller's scratch store"
+        );
     }
 }

@@ -12,6 +12,7 @@
 use loom_core::loom_model::graph::LayerGraph;
 use loom_core::loom_model::inference::{InferenceOptions, NetworkParams};
 use loom_core::loom_model::layer::ConvSpec;
+use loom_core::loom_model::network::NetworkBuilder;
 use loom_core::loom_model::synthetic::{
     synthetic_activations, synthetic_weights, ValueDistribution,
 };
@@ -203,6 +204,45 @@ fn batch_of_one_network_matches_the_serial_engine() {
             .run_batch(&graph, &params, &inputs, options)
             .expect("zoo graphs chain by construction");
         assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+/// Batch items whose activation precisions differ get *different* cost-model
+/// plans: an almost-binary input is cheap enough to stay a single task while
+/// an 8-bit sibling splits into several. The batched conv fan must follow
+/// each item's own task count — the old code assumed item 0's count for
+/// everyone, which either silently zeroed the larger item's extra output
+/// rectangles or ran the smaller item with out-of-range task indices.
+#[test]
+fn mixed_precision_batch_with_divergent_plans_is_thread_invariant() {
+    // 196 windows x 288 weights/filter x 32 filters ~ 1.8M MACs: at 8-bit
+    // activations the modeled cost crosses the task grain (multi-task plan),
+    // at 2-bit it stays under it (single-task plan).
+    let spec = ConvSpec::simple(32, 16, 16, 32, 3);
+    let graph = LayerGraph::from_network(
+        &NetworkBuilder::new("mixed")
+            .conv("conv1", spec)
+            .build()
+            .expect("single-conv network builds"),
+    );
+    let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(8).unwrap()], 2018);
+    let shape = graph.input_shape().expect("graph starts with a conv");
+    let wide = zoo_input(&graph, 99);
+    let narrow = Tensor3::from_vec(shape, (0..shape.len()).map(|i| (i % 2) as i32).collect())
+        .expect("shape-sized data");
+    let options = InferenceOptions::default();
+    for inputs in [[wide.clone(), narrow.clone()], [narrow, wide]] {
+        let serial = NetworkEngine::new(wide_geometry())
+            .with_threads(1)
+            .run_batch(&graph, &params, &inputs, options)
+            .expect("zoo graphs chain by construction");
+        for threads in &THREAD_CURVE[1..] {
+            let parallel = NetworkEngine::new(wide_geometry())
+                .with_threads(*threads)
+                .run_batch(&graph, &params, &inputs, options)
+                .expect("zoo graphs chain by construction");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 }
 
