@@ -416,14 +416,10 @@ fn main() {
     } else {
         &["NiN", "AlexNet", "GoogLeNet", "VGGS"]
     };
-    let resolve = |name: &str| {
-        if reduced {
-            graphs::reduced_by_name(name)
-        } else {
-            graphs::by_name(name)
-        }
-        .expect("zoo suite names always resolve")
-    };
+    // One zoo-by-name lookup shared with the serving layer's model catalog
+    // (`loom_model::zoo::graphs::lookup`): the suite name lists above select
+    // full-scale vs reduced, the resolution itself is common code.
+    let resolve = |name: &str| graphs::lookup(name).expect("zoo suite names always resolve");
     // A typo'd --filter must not silently skip the bit-exactness gate: warn
     // and run the full suite instead, like the sweep binaries do.
     if options.matches_nothing_in(zoo_names.iter().copied()) {

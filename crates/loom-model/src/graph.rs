@@ -315,6 +315,26 @@ impl LayerGraph {
         })
     }
 
+    /// The flat input length the graph expects: the element count of
+    /// [`LayerGraph::input_shape`] for convolutional entries, or the entry
+    /// layer's `in_features` for fully-connected entries (which consume a
+    /// flat vector and have no canonical 3-D shape). `None` for empty graphs.
+    pub fn input_len(&self) -> Option<usize> {
+        if let Some(shape) = self.input_shape() {
+            return Some(shape.len());
+        }
+        self.schedule.iter().find_map(|&i| {
+            let node = &self.nodes[i];
+            if !node.sources.contains(&Source::Input) {
+                return None;
+            }
+            match &node.op {
+                NodeOp::Layer(LayerKind::FullyConnected(f)) => Some(f.in_features),
+                _ => None,
+            }
+        })
+    }
+
     /// Total multiply-accumulate operations over all layer nodes.
     pub fn total_macs(&self) -> u64 {
         self.nodes
@@ -1119,5 +1139,15 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(fc_first.input_shape(), None);
+    }
+
+    #[test]
+    fn input_len_covers_both_entry_kinds() {
+        assert_eq!(branching().input_len(), Some(2 * 6 * 6));
+        let fc_first = GraphBuilder::new("flat")
+            .fully_connected("fc", GRAPH_INPUT, FcSpec::new(8, 2))
+            .build()
+            .unwrap();
+        assert_eq!(fc_first.input_len(), Some(8));
     }
 }

@@ -442,6 +442,80 @@ pub fn reduced_by_name(name: &str) -> Option<LayerGraph> {
     }
 }
 
+/// Names of the multi-layer-perceptron workloads, in suite order. These are
+/// not paper networks: they model the FC-dominated traffic (classifier
+/// heads, embedding projections) an inference service sees alongside CNNs,
+/// where per-request weight packing — not the multiply work — dominates
+/// serial execution.
+pub const MLP_NAMES: [&str; 2] = ["MiniMLP", "MLP"];
+
+/// Small multi-layer perceptron (784-feature flat input): a 784→256→128→10
+/// classifier head, ~234k weights.
+pub fn mini_mlp() -> LayerGraph {
+    GraphBuilder::new("MiniMLP")
+        .fully_connected("fc1", GRAPH_INPUT, FcSpec::new(784, 256))
+        .fully_connected("fc2", "fc1", FcSpec::new(256, 128))
+        .fully_connected("fc3", "fc2", FcSpec::new(128, 10))
+        .build()
+        .expect("MiniMLP graph is valid")
+}
+
+/// Full-size multi-layer perceptron (2048-feature flat input): a
+/// 2048→1024→512→10 head, ~2.6M weights — the shape where streaming the row
+/// transpose per request costs more than the arithmetic it feeds.
+pub fn mlp() -> LayerGraph {
+    GraphBuilder::new("MLP")
+        .fully_connected("fc1", GRAPH_INPUT, FcSpec::new(2048, 1024))
+        .fully_connected("fc2", "fc1", FcSpec::new(1024, 512))
+        .fully_connected("fc3", "fc2", FcSpec::new(512, 10))
+        .build()
+        .expect("MLP graph is valid")
+}
+
+/// Returns an MLP workload by (case-insensitive) name; see [`MLP_NAMES`].
+pub fn mlp_by_name(name: &str) -> Option<LayerGraph> {
+    match name.to_ascii_lowercase().as_str() {
+        "minimlp" => Some(mini_mlp()),
+        "mlp" => Some(mlp()),
+        _ => None,
+    }
+}
+
+/// Every registered executable-graph name, canonical form, in suite order:
+/// the six full-scale paper networks, the four reduced `Mini*` validation
+/// variants, and the MLP serving workloads. Each resolves through
+/// [`lookup`], and `lookup(name).name() == name` for all of them (the
+/// round-trip the serving layer and the benches rely on).
+pub fn registered_names() -> Vec<&'static str> {
+    super::NETWORK_NAMES
+        .iter()
+        .chain(REDUCED_NAMES.iter())
+        .chain(MLP_NAMES.iter())
+        .copied()
+        .collect()
+}
+
+/// The one zoo-by-name lookup: resolves any registered executable graph —
+/// full-scale ([`by_name`], including aliases like `vgg-19`), reduced
+/// (`Mini*`, [`reduced_by_name`]) or MLP ([`mlp_by_name`]) — case
+/// insensitively. `functional_bench` and the `loom-serve` model catalog both
+/// resolve through here, so a network registered once is servable and
+/// benchable everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use loom_model::zoo::graphs;
+/// assert_eq!(graphs::lookup("minialexnet").unwrap().name(), "MiniAlexNet");
+/// assert_eq!(graphs::lookup("MLP").unwrap().name(), "MLP");
+/// assert!(graphs::lookup("resnet50").is_none());
+/// ```
+pub fn lookup(name: &str) -> Option<LayerGraph> {
+    by_name(name)
+        .or_else(|| reduced_by_name(name))
+        .or_else(|| mlp_by_name(name))
+}
+
 /// All four reduced validation networks, in suite order.
 pub fn reduced_all() -> Vec<LayerGraph> {
     REDUCED_NAMES
@@ -489,6 +563,47 @@ mod tests {
         assert_eq!(alexnet().total_macs(), super::super::alexnet().total_macs());
         assert_eq!(vgg19().total_macs(), super::super::vgg19().total_macs());
         assert_eq!(vgg_m().total_macs(), super::super::vgg_m().total_macs());
+    }
+
+    /// Every registered name resolves through the shared lookup and comes
+    /// back with its canonical name intact — the contract the serving layer's
+    /// model catalog and `functional_bench` both lean on.
+    #[test]
+    fn every_registered_name_round_trips_through_lookup() {
+        let names = registered_names();
+        assert_eq!(
+            names.len(),
+            super::super::NETWORK_NAMES.len() + REDUCED_NAMES.len() + MLP_NAMES.len()
+        );
+        for name in &names {
+            let graph = lookup(name)
+                .unwrap_or_else(|| panic!("registered name {name:?} must resolve via lookup"));
+            assert_eq!(graph.name(), *name, "lookup must return the canonical name");
+            // Case-insensitive: the lowercase alias resolves to the same graph.
+            let lower = lookup(&name.to_ascii_lowercase()).expect("lowercase alias resolves");
+            assert_eq!(lower.name(), *name);
+            assert!(graph.total_macs() > 0, "{name}");
+        }
+        // No two registered names collide.
+        let mut unique: Vec<String> = names.iter().map(|n| n.to_ascii_lowercase()).collect();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn mlp_graphs_are_fc_only_and_sized_for_serving() {
+        for name in MLP_NAMES {
+            let g = mlp_by_name(name).unwrap();
+            assert!(g.input_shape().is_none(), "{name} consumes a flat vector");
+            assert!(g.input_len().is_some(), "{name} still reports input length");
+            assert!(g
+                .compute_layers()
+                .all(|(_, k)| matches!(k, crate::layer::LayerKind::FullyConnected(_))));
+        }
+        assert_eq!(mini_mlp().input_len(), Some(784));
+        assert_eq!(mlp().input_len(), Some(2048));
+        assert!(mlp_by_name("perceptron").is_none());
     }
 
     #[test]

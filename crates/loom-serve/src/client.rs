@@ -1,0 +1,136 @@
+//! A minimal blocking HTTP/1.1 client for the loopback suites and the load
+//! generator: one keep-alive connection, fixed-length bodies, no TLS, no
+//! redirects — just enough to drive [`crate::server::Server`] and read back
+//! status + body.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A response: status code and body bytes (the serving protocol's bodies are
+/// always UTF-8 JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl Client {
+    /// Connects with the given socket timeout applied to reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request and reads the response on the keep-alive
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses as `io::Error`.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: loopback\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience wrapper: `POST /v1/infer` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn infer(&mut self, body: &str) -> io::Result<Response> {
+        self.request("POST", "/v1/infer", body)
+    }
+
+    /// Sends raw bytes as-is — the adversarial suites use this to speak
+    /// broken HTTP on purpose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, raw: &[u8]) -> io::Result<()> {
+        self.stream.write_all(raw)?;
+        self.stream.flush()
+    }
+
+    /// Reads one response off the wire (status line, headers,
+    /// `Content-Length` body).
+    ///
+    /// # Errors
+    ///
+    /// `io::Error` on socket failure, timeout, or a response this minimal
+    /// client cannot parse.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let mut parts = line.trim_end().splitn(3, ' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(bad("not an HTTP/1.1 response"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("unparsable status code"))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("unparsable content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+        Ok(Response { status, body })
+    }
+
+    /// Half-closes the write side (the mid-response-disconnect tests use
+    /// this to abandon a request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shutdown failure.
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}

@@ -1,0 +1,296 @@
+//! A deliberately small HTTP/1.1 reader/writer over blocking [`std::net`]
+//! streams: request-line + header parsing with hard size caps, exact
+//! `Content-Length` bodies, keep-alive negotiation, and fixed-length
+//! responses. No chunked encoding, no pipelining guarantees beyond
+//! read-one/write-one — the serving protocol never needs them, and every
+//! omitted feature is a parser surface that cannot be attacked.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus all headers. 16 KiB is an order of magnitude
+/// above anything the protocol sends; beyond it the connection is treated as
+/// hostile.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target (`/v1/infer`), as sent.
+    pub target: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is sent.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a full request. Clean
+    /// end of a keep-alive connection when no bytes arrived at all.
+    Closed,
+    /// The socket's read timeout elapsed mid-request (slow-loris posture:
+    /// the caller drops the connection without a response).
+    TimedOut,
+    /// The bytes on the wire are not HTTP the server understands.
+    Malformed(&'static str),
+    /// Headers exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// `Content-Length` exceeded the caller's body cap (HTTP 413).
+    BodyTooLarge {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::TimedOut,
+            io::ErrorKind::UnexpectedEof => ReadError::Closed,
+            _ => ReadError::Io(e),
+        }
+    }
+}
+
+/// Reads one request from the stream. `max_body` caps `Content-Length`.
+///
+/// # Errors
+///
+/// See [`ReadError`]; `Closed` on a cleanly closed idle connection.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let mut head = Vec::new();
+    let mut line = String::new();
+
+    // Request line. An immediate EOF here is the clean keep-alive close.
+    read_line(reader, &mut line, &mut head)?;
+    if line.is_empty() {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or(ReadError::Malformed("request line lacks a target"))?;
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("request line lacks a version"))?;
+    if parts.next().is_some() {
+        return Err(ReadError::Malformed("request line has extra fields"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed("unsupported HTTP version"));
+    }
+    let (method, target) = (method.to_string(), target.to_string());
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        read_line(reader, &mut line, &mut head)?;
+        if line.is_empty() {
+            break; // blank line: end of headers
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("header lacks ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ReadError::Malformed("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    let body_len = match request.header("content-length") {
+        None => 0,
+        Some(text) => text
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed("unparsable Content-Length"))?,
+    };
+    if body_len > max_body {
+        return Err(ReadError::BodyTooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; body_len];
+    reader.read_exact(&mut body)?;
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, enforcing the cumulative
+/// header cap via `head` (the running byte count across request line and
+/// headers).
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    head: &mut Vec<u8>,
+) -> Result<(), ReadError> {
+    let mut raw = Vec::new();
+    let budget = MAX_HEADER_BYTES.saturating_sub(head.len()) + 1;
+    let read = reader
+        .by_ref()
+        .take(budget as u64)
+        .read_until(b'\n', &mut raw)
+        .map_err(ReadError::from)?;
+    if read == 0 {
+        // EOF: an empty first line means Closed (handled by the caller); EOF
+        // mid-headers is a truncated request.
+        if head.is_empty() {
+            line.clear();
+            return Ok(());
+        }
+        return Err(ReadError::Malformed("connection closed mid-headers"));
+    }
+    head.extend_from_slice(&raw);
+    if head.len() > MAX_HEADER_BYTES {
+        return Err(ReadError::HeadersTooLarge);
+    }
+    if raw.last() != Some(&b'\n') {
+        return Err(ReadError::Malformed("header line lacks a terminator"));
+    }
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    *line = String::from_utf8(raw).map_err(|_| ReadError::Malformed("non-UTF-8 header"))?;
+    Ok(())
+}
+
+/// Writes a fixed-length response. `keep_alive` controls the `Connection`
+/// header; the caller closes the stream when it is `false`.
+///
+/// # Errors
+///
+/// Propagates socket write errors (including write-timeout expiry).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `read_request` against raw client bytes over a real loopback
+    /// socket pair.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Half-close so the reader sees EOF after our bytes.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let result = read_request(&mut reader, max_body);
+        client.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/infer HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/infer");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", 0).unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET / HTTP/3.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET / HTTP/1.1\r\ntruncated",
+        ] {
+            assert!(matches!(parse(raw, 16), Err(ReadError::Malformed(_))));
+        }
+    }
+
+    #[test]
+    fn size_caps_trip() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(matches!(
+            parse(huge.as_bytes(), 16),
+            Err(ReadError::HeadersTooLarge)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 10),
+            Err(ReadError::BodyTooLarge { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn clean_close_and_truncated_body_are_distinct() {
+        assert!(matches!(parse(b"", 16), Err(ReadError::Closed)));
+        // Promised 10 body bytes, sent 2, then closed.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab", 16),
+            Err(ReadError::Closed)
+        ));
+    }
+}

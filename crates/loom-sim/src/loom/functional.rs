@@ -284,7 +284,7 @@ impl FunctionalLoom {
         );
         let cycles = self.fc_cycles(spec, pw);
         if self.kernel == SipKernel::Wide {
-            let job = WideFcJob::new(spec, &[input], weights, pw, self.threads);
+            let job = WideFcJob::new(spec, &[input], weights, pw, self.threads, None);
             let rows = pool::ordered_map_with(
                 self.threads,
                 job.row_group_count(),
@@ -511,6 +511,16 @@ pub(crate) struct WideFilterPlanes {
     precisions: Vec<Precision>,
     zero: Vec<bool>,
     blocks_per_filter: usize,
+}
+
+impl WideFilterPlanes {
+    /// Approximate resident size, for cache observability.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.blocks.len()
+            * (std::mem::size_of::<WideBitplaneBlock>()
+                + std::mem::size_of::<Precision>()
+                + std::mem::size_of::<bool>())
+    }
 }
 
 /// Per-worker scratch for the wide convolutional path: the window patch
@@ -833,6 +843,65 @@ struct FcPackedInput {
     zero: Vec<bool>,
 }
 
+/// A fully-connected layer's weight rows in wide bit-plane form, packed once
+/// and reused across requests (the serving layer's per-model weight cache).
+/// Row-major: row `r`, chunk `c` lives at `r * chunks + c`, mirroring the
+/// layout [`WideFcJob::run_rows`] streams through its arena — a job reading
+/// these blocks computes bit-identical results to one that packs on the fly.
+pub(crate) struct PackedFcRows {
+    blocks: Vec<WideBitplaneBlock>,
+    pw: Vec<Precision>,
+    zero: Vec<bool>,
+    chunks: usize,
+}
+
+impl PackedFcRows {
+    /// Transposes every weight row of `spec` into wide blocks with per-block
+    /// detected precisions and zero flags — exactly what the streaming path
+    /// computes per row per dispatch, hoisted to pack-once time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight slice does not match the spec.
+    pub(crate) fn pack(spec: &FcSpec, weights: &[i32]) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.in_features * spec.out_features,
+            "weight length mismatch"
+        );
+        let chunks = spec.in_features.div_ceil(WIDE_LANES);
+        let total = spec.out_features * chunks;
+        let mut blocks = Vec::with_capacity(total);
+        let mut pw = Vec::with_capacity(total);
+        let mut zero = Vec::with_capacity(total);
+        for r in 0..spec.out_features {
+            let row = &weights[r * spec.in_features..(r + 1) * spec.in_features];
+            for chunk in 0..chunks {
+                let base = chunk * WIDE_LANES;
+                let count = WIDE_LANES.min(spec.in_features - base);
+                let block = WideBitplaneBlock::pack(&row[base..base + count]);
+                pw.push(block.detected_precision(true));
+                zero.push(block.is_zero());
+                blocks.push(block);
+            }
+        }
+        PackedFcRows {
+            blocks,
+            pw,
+            zero,
+            chunks,
+        }
+    }
+
+    /// Approximate resident size, for cache observability.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.blocks.len()
+            * (std::mem::size_of::<WideBitplaneBlock>()
+                + std::mem::size_of::<Precision>()
+                + std::mem::size_of::<bool>())
+    }
+}
+
 /// A fully-connected layer over one or more batch items on the wide
 /// datapath. Inputs are packed once per item up front; weight rows are packed
 /// once per *task* and applied to every item, so a batch shares the entire
@@ -844,6 +913,9 @@ pub(crate) struct WideFcJob<'a> {
     pw: Precision,
     chunks: usize,
     items: Vec<FcPackedInput>,
+    /// Pre-transposed weight rows from a per-model cache; when absent, each
+    /// task streams its rows through the worker arena as before.
+    packed: Option<&'a PackedFcRows>,
     /// Output rows per pool task, chosen by the cost model.
     rows_per_task: usize,
 }
@@ -851,17 +923,21 @@ pub(crate) struct WideFcJob<'a> {
 impl<'a> WideFcJob<'a> {
     /// Packs every item's input activations into wide blocks, with the
     /// output-rows-per-task granularity planned by the cost model for a
-    /// budget of `units` threads.
+    /// budget of `units` threads. When `packed` carries the layer's
+    /// cached row transpose, tasks read it instead of re-packing — results
+    /// are bit-identical either way.
     ///
     /// # Panics
     ///
-    /// Panics if any input or the weight slice does not match the spec.
+    /// Panics if any input, the weight slice, or the packed cache does not
+    /// match the spec.
     pub(crate) fn new(
         spec: &'a FcSpec,
         inputs: &[&[i32]],
         weights: &'a [i32],
         pw: Precision,
         units: usize,
+        packed: Option<&'a PackedFcRows>,
     ) -> Self {
         assert_eq!(
             weights.len(),
@@ -869,6 +945,14 @@ impl<'a> WideFcJob<'a> {
             "weight length mismatch"
         );
         let chunks = spec.in_features.div_ceil(WIDE_LANES);
+        if let Some(rows) = packed {
+            assert_eq!(rows.chunks, chunks, "packed rows chunk mismatch");
+            assert_eq!(
+                rows.blocks.len(),
+                spec.out_features * chunks,
+                "packed rows do not tile the layer"
+            );
+        }
         let items = inputs
             .iter()
             .map(|input| {
@@ -898,6 +982,7 @@ impl<'a> WideFcJob<'a> {
             pw,
             chunks,
             items,
+            packed,
             rows_per_task,
         }
     }
@@ -919,28 +1004,49 @@ impl<'a> WideFcJob<'a> {
         let r1 = (r0 + self.rows_per_task).min(self.spec.out_features);
         let items = self.items.len();
         let mut out = vec![0i64; (r1 - r0) * items];
-        arena.blocks.resize(self.chunks, WideBitplaneBlock::EMPTY);
-        arena.pw.resize(self.chunks, Precision::FULL);
-        arena.zero.resize(self.chunks, false);
+        if self.packed.is_none() {
+            arena.blocks.resize(self.chunks, WideBitplaneBlock::EMPTY);
+            arena.pw.resize(self.chunks, Precision::FULL);
+            arena.zero.resize(self.chunks, false);
+        }
         for r in r0..r1 {
-            let row = &self.weights[r * self.spec.in_features..(r + 1) * self.spec.in_features];
-            for chunk in 0..self.chunks {
-                let base = chunk * WIDE_LANES;
-                let count = WIDE_LANES.min(self.spec.in_features - base);
-                arena.blocks[chunk].pack_into(&row[base..base + count]);
-                arena.pw[chunk] = arena.blocks[chunk].detected_precision(true);
-                arena.zero[chunk] = arena.blocks[chunk].is_zero();
-            }
+            // One row's blocks, either streamed into the worker arena (the
+            // default) or read from the per-model cache; the cached blocks
+            // were produced by the same transpose, so both paths feed the
+            // kernel identical planes, precisions and zero flags.
+            let (blocks, pw, zero): (&[WideBitplaneBlock], &[Precision], &[bool]) =
+                match self.packed {
+                    Some(rows) => {
+                        let base = r * self.chunks;
+                        (
+                            &rows.blocks[base..base + self.chunks],
+                            &rows.pw[base..base + self.chunks],
+                            &rows.zero[base..base + self.chunks],
+                        )
+                    }
+                    None => {
+                        let row = &self.weights
+                            [r * self.spec.in_features..(r + 1) * self.spec.in_features];
+                        for chunk in 0..self.chunks {
+                            let base = chunk * WIDE_LANES;
+                            let count = WIDE_LANES.min(self.spec.in_features - base);
+                            arena.blocks[chunk].pack_into(&row[base..base + count]);
+                            arena.pw[chunk] = arena.blocks[chunk].detected_precision(true);
+                            arena.zero[chunk] = arena.blocks[chunk].is_zero();
+                        }
+                        (&arena.blocks, &arena.pw, &arena.zero)
+                    }
+                };
             for (item, input) in self.items.iter().enumerate() {
                 let mut acc = 0i64;
                 for chunk in 0..self.chunks {
-                    if arena.zero[chunk] || input.zero[chunk] {
+                    if zero[chunk] || input.zero[chunk] {
                         continue;
                     }
                     acc += wide_inner_product(
-                        &arena.blocks[chunk],
+                        &blocks[chunk],
                         &input.blocks[chunk],
-                        arena.pw[chunk].min(self.pw),
+                        pw[chunk].min(self.pw),
                         input.pa[chunk],
                         true,
                         true,

@@ -12,7 +12,7 @@ pub mod sip;
 pub mod wide;
 
 pub use functional::{FunctionalLoom, FunctionalRun, SipKernel};
-pub use network::{NetworkEngine, NetworkRun};
+pub use network::{NetworkEngine, NetworkRun, PackedModel};
 pub use packed::{
     packed_inner_product, packed_inner_product_slices, BitplaneBlock, MagnitudeOr, MAX_LANES,
 };

@@ -65,14 +65,17 @@
 
 use crate::config::LoomGeometry;
 use crate::loom::functional::{
-    merge_conv_tasks, ConvArena, FcArena, FunctionalLoom, SipKernel, WideFcJob,
+    merge_conv_tasks, ConvArena, FcArena, FunctionalLoom, PackedFcRows, SipKernel, WideFcJob,
+    WideFilterPlanes,
 };
 use crate::pool;
 use loom_model::fixed::required_precision;
 use loom_model::graph::{GraphCompute, LayerGraph};
 use loom_model::inference::{InferenceError, InferenceOptions, InferenceTrace, NetworkParams};
-use loom_model::layer::{ConvSpec, FcSpec};
+use loom_model::layer::{ConvSpec, FcSpec, LayerKind};
 use loom_model::tensor::{Tensor3, Tensor4};
+use loom_model::Precision;
+use std::collections::HashMap;
 
 /// Result of running a whole network through the functional engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +87,73 @@ pub struct NetworkRun {
     pub cycles: u64,
     /// Total activation groups whose precision dynamic detection reduced.
     pub reduced_groups: u64,
+}
+
+/// Fully-connected layers whose weight count exceeds this stream their row
+/// transpose per dispatch instead of being held in a [`PackedModel`]: a
+/// VGG-19-class `fc6` (~100M weights) would pin hundreds of megabytes of
+/// bit-plane blocks per served model, while everything up to a few million
+/// weights — every reduced network and MLP head — caches comfortably.
+pub const FC_PREPACK_MAX_WEIGHTS: usize = 1 << 22;
+
+/// One convolution's cache entry: the layer's wide filter planes plus its
+/// weight precision, both otherwise recomputed on every dispatch.
+struct CachedConv {
+    planes: WideFilterPlanes,
+    pw: Precision,
+}
+
+/// One fully-connected layer's cache entry. `rows` is `None` above
+/// [`FC_PREPACK_MAX_WEIGHTS`] (the dispatch streams the transpose as
+/// before); the weight precision is cached either way.
+struct CachedFc {
+    rows: Option<PackedFcRows>,
+    pw: Precision,
+}
+
+/// A model's weights pre-packed for the wide datapath, built once
+/// ([`NetworkEngine::prepack`]) and shared read-only across every request
+/// that serves the model: per-conv-layer filter planes, per-FC-layer row
+/// transposes (bounded by [`FC_PREPACK_MAX_WEIGHTS`]) and per-layer weight
+/// precisions. [`NetworkEngine::run_batch_cached`] consults it by layer
+/// name; results are bit-identical with and without the cache — only the
+/// per-dispatch packing and precision scans disappear.
+///
+/// The cache is only valid for the exact `(graph, params)` pair it was built
+/// from; [`NetworkEngine::run_batch_cached`] rejects a cache whose graph
+/// name differs, and the packing layers assert block counts against the
+/// layer specs.
+pub struct PackedModel {
+    graph_name: String,
+    conv: HashMap<String, CachedConv>,
+    fc: HashMap<String, CachedFc>,
+}
+
+impl PackedModel {
+    /// The graph this cache was packed for.
+    pub fn graph_name(&self) -> &str {
+        &self.graph_name
+    }
+
+    /// Number of layers with cached packed weights (precision-only FC
+    /// entries above the prepack limit do not count).
+    pub fn packed_layers(&self) -> usize {
+        self.conv.len() + self.fc.values().filter(|f| f.rows.is_some()).count()
+    }
+
+    /// Approximate resident size of the packed planes, for observability.
+    pub fn approx_bytes(&self) -> usize {
+        self.conv
+            .values()
+            .map(|c| c.planes.approx_bytes())
+            .sum::<usize>()
+            + self
+                .fc
+                .values()
+                .filter_map(|f| f.rows.as_ref())
+                .map(PackedFcRows::approx_bytes)
+                .sum::<usize>()
+    }
 }
 
 /// Batched, parallel functional execution of whole layer graphs.
@@ -177,9 +247,94 @@ impl NetworkEngine {
         inputs: &[Tensor3],
         options: InferenceOptions,
     ) -> Result<Vec<NetworkRun>, InferenceError> {
+        self.run_batch_cached(graph, params, inputs, options, None)
+    }
+
+    /// Packs every compute layer's weights for the wide datapath up front:
+    /// conv filter planes, FC row transposes (layers up to
+    /// [`FC_PREPACK_MAX_WEIGHTS`] weights) and per-layer weight precisions.
+    /// Build once per served model, then pass to
+    /// [`NetworkEngine::run_batch_cached`] on every request.
+    ///
+    /// The cache applies to the wide kernel only (the serving default); the
+    /// legacy cross-check kernels ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` does not match the graph's compute layers (wrong
+    /// count or weight lengths) — the same contract [`LayerGraph::run_batch`]
+    /// enforces at dispatch time.
+    pub fn prepack(&self, graph: &LayerGraph, params: &NetworkParams) -> PackedModel {
+        let mut conv = HashMap::new();
+        let mut fc = HashMap::new();
+        for ((name, kind), weights) in graph.compute_layers().zip(params.layers()) {
+            assert_eq!(
+                name, weights.layer_name,
+                "params must list weights in compute-layer order"
+            );
+            let pw = required_precision(&weights.values);
+            match kind {
+                LayerKind::Conv(spec) => {
+                    let tensor = Tensor4::from_vec(spec.weight_shape(), weights.values.clone())
+                        .expect("weight length matches the layer spec");
+                    conv.insert(
+                        name.to_string(),
+                        CachedConv {
+                            planes: FunctionalLoom::pack_wide_filters(spec, &tensor),
+                            pw,
+                        },
+                    );
+                }
+                LayerKind::FullyConnected(spec) => {
+                    let rows = (weights.values.len() <= FC_PREPACK_MAX_WEIGHTS)
+                        .then(|| PackedFcRows::pack(spec, &weights.values));
+                    fc.insert(name.to_string(), CachedFc { rows, pw });
+                }
+                LayerKind::MaxPool(_) => {}
+            }
+        }
+        PackedModel {
+            graph_name: graph.name().to_string(),
+            conv,
+            fc,
+        }
+    }
+
+    /// [`NetworkEngine::run_batch`] with a per-model weight cache: layers
+    /// found in `cache` skip their per-dispatch weight packing and precision
+    /// scan. Results are bit-identical to the uncached run at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetworkEngine::run_batch`], plus
+    /// [`InferenceError::ShapeMismatch`]-free sanity: a cache packed for a
+    /// different graph (by name) panics — serving must never silently mix
+    /// models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was packed for a different graph, or if a cached
+    /// layer's block counts do not tile the layer spec (a stale cache).
+    pub fn run_batch_cached(
+        &self,
+        graph: &LayerGraph,
+        params: &NetworkParams,
+        inputs: &[Tensor3],
+        options: InferenceOptions,
+        cache: Option<&PackedModel>,
+    ) -> Result<Vec<NetworkRun>, InferenceError> {
+        if let Some(cache) = cache {
+            assert_eq!(
+                cache.graph_name,
+                graph.name(),
+                "packed-weight cache belongs to a different model"
+            );
+        }
         let mut backend = FunctionalCompute {
             engine: self.engine,
             threads: self.threads,
+            cache,
             cycles: vec![0; inputs.len()],
             reduced_groups: vec![0; inputs.len()],
         };
@@ -202,14 +357,15 @@ impl NetworkEngine {
 /// points pack each layer's weight planes once and fan fine-grained tasks
 /// across the worker pool; the single-item entry points exist for callers
 /// driving [`LayerGraph::run_with`] directly.
-struct FunctionalCompute {
+struct FunctionalCompute<'c> {
     engine: FunctionalLoom,
     threads: usize,
+    cache: Option<&'c PackedModel>,
     cycles: Vec<u64>,
     reduced_groups: Vec<u64>,
 }
 
-impl FunctionalCompute {
+impl FunctionalCompute<'_> {
     fn ensure_items(&mut self, items: usize) {
         if self.cycles.len() < items {
             self.cycles.resize(items, 0);
@@ -218,7 +374,7 @@ impl FunctionalCompute {
     }
 }
 
-impl GraphCompute for FunctionalCompute {
+impl GraphCompute for FunctionalCompute<'_> {
     fn conv(
         &mut self,
         _layer: &str,
@@ -252,13 +408,17 @@ impl GraphCompute for FunctionalCompute {
 
     fn conv_batch(
         &mut self,
-        _layer: &str,
+        layer: &str,
         spec: &ConvSpec,
         inputs: &[Tensor3],
         weights: &Tensor4,
     ) -> Vec<Vec<i64>> {
         self.ensure_items(inputs.len());
-        let pw = required_precision(weights.as_slice());
+        let cached = self.cache.and_then(|cache| cache.conv.get(layer));
+        let pw = match cached {
+            Some(cached) => cached.pw,
+            None => required_precision(weights.as_slice()),
+        };
         if self.engine.kernel != SipKernel::Wide {
             // Legacy kernels exist for cross-checks only: fan batch items
             // across the pool and give leftover threads to window groups,
@@ -288,13 +448,20 @@ impl GraphCompute for FunctionalCompute {
         // whole budget (intra-layer batch-of-1 parallelism), a batch as wide
         // as the pool gets one task per item.
         let units = self.threads.div_ceil(inputs.len()).max(1);
-        let filters = FunctionalLoom::pack_wide_filters(spec, weights);
+        let packed_local;
+        let filters = match cached {
+            Some(cached) => &cached.planes,
+            None => {
+                packed_local = FunctionalLoom::pack_wide_filters(spec, weights);
+                &packed_local
+            }
+        };
         let jobs: Vec<_> = inputs
             .iter()
             .map(|input| {
                 let pa = required_precision(input.as_slice());
                 self.engine
-                    .wide_conv_job(spec, input, &filters, pa, pw, units)
+                    .wide_conv_job(spec, input, filters, pa, pw, units)
             })
             .collect();
         // Each item plans from its *own* activation precision, so task counts
@@ -331,13 +498,17 @@ impl GraphCompute for FunctionalCompute {
 
     fn fc_batch(
         &mut self,
-        _layer: &str,
+        layer: &str,
         spec: &FcSpec,
         inputs: &[Vec<i32>],
         weights: &[i32],
     ) -> Vec<Vec<i64>> {
         self.ensure_items(inputs.len());
-        let pw = required_precision(weights);
+        let cached = self.cache.and_then(|cache| cache.fc.get(layer));
+        let pw = match cached {
+            Some(cached) => cached.pw,
+            None => required_precision(weights),
+        };
         if self.engine.kernel != SipKernel::Wide {
             let item_workers = self.threads.min(inputs.len()).max(1);
             let runs = pool::ordered_map(item_workers, inputs.len(), |i| {
@@ -357,7 +528,8 @@ impl GraphCompute for FunctionalCompute {
         // Wide path: inputs pack once per item, each weight row packs once
         // for the whole batch, and output-row groups fan across the pool.
         let item_slices: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
-        let job = WideFcJob::new(spec, &item_slices, weights, pw, self.threads);
+        let rows = cached.and_then(|cached| cached.rows.as_ref());
+        let job = WideFcJob::new(spec, &item_slices, weights, pw, self.threads, rows);
         let row_chunks = pool::ordered_map_with(
             self.threads,
             job.row_group_count(),
@@ -506,5 +678,122 @@ mod tests {
             .run(&graph, &params, &bad_input, InferenceOptions::default())
             .unwrap_err();
         assert!(matches!(err, InferenceError::ShapeMismatch { .. }));
+    }
+
+    fn mlp_graph() -> LayerGraph {
+        GraphBuilder::new("mlp")
+            .fully_connected("fc1", GRAPH_INPUT, FcSpec::new(96, 48))
+            .fully_connected("fc2", "fc1", FcSpec::new(48, 10))
+            .build()
+            .unwrap()
+    }
+
+    fn mlp_inputs(n: usize) -> Vec<Tensor3> {
+        (0..n)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(300 + i as u64);
+                Tensor3::from_vec(
+                    Shape3::new(1, 1, 96),
+                    synthetic_activations(
+                        &mut rng,
+                        96,
+                        Precision::new(8).unwrap(),
+                        ValueDistribution::activations(),
+                    ),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_model_cache_is_bit_identical_to_uncached_runs() {
+        let options = InferenceOptions::default();
+        // Conv + pool + concat + FC graph, and an FC-only (MLP) graph: the
+        // two cache paths (filter planes, FC row transposes).
+        for (graph, batch) in [(branching_graph(), inputs(3)), (mlp_graph(), mlp_inputs(3))] {
+            let params =
+                NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+            let engine = NetworkEngine::new(geometry()).with_threads(2);
+            let cache = engine.prepack(&graph, &params);
+            assert_eq!(cache.graph_name(), graph.name());
+            assert_eq!(
+                cache.packed_layers(),
+                graph.compute_layers().count(),
+                "every compute layer of {} fits under the prepack limit",
+                graph.name()
+            );
+            assert!(cache.approx_bytes() > 0);
+            let uncached = engine.run_batch(&graph, &params, &batch, options).unwrap();
+            let cached = engine
+                .run_batch_cached(&graph, &params, &batch, options, Some(&cache))
+                .unwrap();
+            assert_eq!(cached, uncached);
+            // The cache stays valid across thread counts and batch shapes.
+            let single = NetworkEngine::new(geometry())
+                .run_batch_cached(
+                    &graph,
+                    &params,
+                    std::slice::from_ref(&batch[0]),
+                    options,
+                    Some(&cache),
+                )
+                .unwrap();
+            assert_eq!(single[0], uncached[0]);
+        }
+    }
+
+    #[test]
+    fn oversized_fc_layers_cache_precision_but_stream_rows() {
+        let graph = mlp_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+        let engine = NetworkEngine::new(geometry());
+        let cache = engine.prepack(&graph, &params);
+        // Force the "too big to prepack" path by dropping the packed rows,
+        // keeping only the cached precisions — results must not change.
+        let stripped = PackedModel {
+            graph_name: cache.graph_name.clone(),
+            conv: HashMap::new(),
+            fc: cache
+                .fc
+                .iter()
+                .map(|(name, fc)| {
+                    (
+                        name.clone(),
+                        CachedFc {
+                            rows: None,
+                            pw: fc.pw,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        assert_eq!(stripped.packed_layers(), 0);
+        let batch = mlp_inputs(2);
+        let options = InferenceOptions::default();
+        let uncached = engine.run_batch(&graph, &params, &batch, options).unwrap();
+        let cached = engine
+            .run_batch_cached(&graph, &params, &batch, options, Some(&stripped))
+            .unwrap();
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn cache_for_a_different_graph_is_rejected() {
+        let graph = branching_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(7).unwrap()], 3);
+        let other = mlp_graph();
+        let other_params =
+            NetworkParams::synthetic_for_graph(&other, &[Precision::new(7).unwrap()], 3);
+        let engine = NetworkEngine::new(geometry());
+        let cache = engine.prepack(&other, &other_params);
+        let _ = engine.run_batch_cached(
+            &graph,
+            &params,
+            &inputs(1),
+            InferenceOptions::default(),
+            Some(&cache),
+        );
     }
 }

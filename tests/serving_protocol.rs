@@ -1,0 +1,250 @@
+//! Adversarial protocol suite: malformed HTTP, hostile bodies, slow
+//! clients and mid-response disconnects must each get the documented status
+//! code (or a silent drop) — and the server must stay fully healthy
+//! afterwards. Every test ends by completing a normal request on a fresh
+//! connection.
+
+use loom_serve::batch::BatchConfig;
+use loom_serve::client::Client;
+use loom_serve::json::Json;
+use loom_serve::model::ModelCatalog;
+use loom_serve::server::{Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A server with a small body cap and a short read timeout, so the
+/// adversarial paths trip quickly.
+fn hostile_target() -> Server {
+    Server::start(
+        ModelCatalog::from_names(["MiniMLP"]),
+        ServerConfig {
+            port: 0,
+            batch: BatchConfig {
+                window: Duration::from_millis(1),
+                ..BatchConfig::default()
+            },
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 64 * 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral loopback port")
+}
+
+fn healthy_body() -> String {
+    let catalog = ModelCatalog::from_names(["MiniMLP"]);
+    let model = catalog.find("MiniMLP").unwrap();
+    let input = model.synthetic_input(0);
+    Json::Object(vec![
+        ("model".to_string(), Json::from("MiniMLP")),
+        (
+            "inputs".to_string(),
+            Json::Array(vec![Json::Array(
+                input
+                    .as_slice()
+                    .iter()
+                    .map(|&v| Json::from(v as i64))
+                    .collect(),
+            )]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Asserts the server still serves real traffic on a fresh connection.
+fn assert_healthy(server: &Server, body: &str) {
+    let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    let response = client.infer(body).unwrap();
+    assert_eq!(response.status, 200, "server unhealthy: {}", response.body);
+}
+
+#[test]
+fn malformed_http_gets_400_and_the_server_survives() {
+    let server = hostile_target();
+    let body = healthy_body();
+    for raw in [
+        &b"TOTAL GARBAGE\r\n\r\n"[..],
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"POST /v1/infer HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        b"GET / HTTP/1.1\r\nno-colon-header\r\n\r\n",
+    ] {
+        let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+        client.send_raw(raw).unwrap();
+        let response = client.read_response().unwrap();
+        assert_eq!(
+            response.status,
+            400,
+            "for {:?}",
+            String::from_utf8_lossy(raw)
+        );
+    }
+    assert_healthy(&server, &body);
+}
+
+#[test]
+fn bad_protocol_payloads_get_the_documented_codes() {
+    let server = hostile_target();
+    let body = healthy_body();
+    let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    // Unknown endpoint.
+    assert_eq!(
+        client.request("POST", "/v2/wrong", "{}").unwrap().status,
+        404
+    );
+    // Unsupported method.
+    assert_eq!(
+        client.request("PUT", "/v1/infer", "{}").unwrap().status,
+        405
+    );
+    // Non-JSON body.
+    assert_eq!(client.infer("this is not json").unwrap().status, 400);
+    // Valid JSON, missing fields.
+    assert_eq!(client.infer("{}").unwrap().status, 400);
+    // Unknown model.
+    let unknown = r#"{"model":"NoSuchNet","inputs":[[1]]}"#;
+    assert_eq!(client.infer(unknown).unwrap().status, 404);
+    // Unknown tier.
+    let bad_tier = r#"{"model":"MiniMLP","tier":"turbo","inputs":[[1]]}"#;
+    assert_eq!(client.infer(bad_tier).unwrap().status, 400);
+    // Wrong input length.
+    let short = r#"{"model":"MiniMLP","inputs":[[1,2,3]]}"#;
+    assert_eq!(client.infer(short).unwrap().status, 400);
+    // Non-integer tensor values.
+    let fractional = format!(
+        r#"{{"model":"MiniMLP","inputs":[[{}1.5]]}}"#,
+        "7,".repeat(783)
+    );
+    assert_eq!(client.infer(&fractional).unwrap().status, 400);
+    // Out-of-range values.
+    let huge = format!(
+        r#"{{"model":"MiniMLP","inputs":[[{}4294967296]]}}"#,
+        "7,".repeat(783)
+    );
+    assert_eq!(client.infer(&huge).unwrap().status, 400);
+    assert_healthy(&server, &body);
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let server = hostile_target();
+    let body = healthy_body();
+    // Content-Length over the cap: rejected before the payload is read.
+    let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    client
+        .send_raw(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n")
+        .unwrap();
+    assert_eq!(client.read_response().unwrap().status, 413);
+    // Too many tensors in one request: per-request batch cap.
+    let catalog = ModelCatalog::from_names(["MiniMLP"]);
+    let model = catalog.find("MiniMLP").unwrap();
+    let tensor = Json::Array(
+        model
+            .synthetic_input(0)
+            .as_slice()
+            .iter()
+            .map(|&v| Json::from(v as i64))
+            .collect(),
+    );
+    let over_batch = Json::Object(vec![
+        ("model".to_string(), Json::from("MiniMLP")),
+        (
+            "inputs".to_string(),
+            Json::Array(vec![tensor; BatchConfig::default().max_batch + 1]),
+        ),
+    ])
+    .to_string();
+    let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(client.infer(&over_batch).unwrap().status, 413);
+    assert_healthy(&server, &body);
+}
+
+#[test]
+fn slow_loris_hits_the_read_timeout_and_is_dropped() {
+    let server = hostile_target();
+    let body = healthy_body();
+    // Drip half a request line and stall past the 300 ms read timeout.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"POST /v1/inf").unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buffer = [0u8; 64];
+    use std::io::Read;
+    // The server must close without sending anything: the first read after
+    // the timeout observes EOF (Ok(0)), not a response.
+    let got = stream.read(&mut buffer).unwrap();
+    assert_eq!(got, 0, "slow-loris connections get no response bytes");
+    assert_healthy(&server, &body);
+}
+
+#[test]
+fn truncated_body_and_mid_response_disconnects_leave_the_server_up() {
+    let server = hostile_target();
+    let body = healthy_body();
+    // Promise 500 body bytes, send 10, then half-close.
+    let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    client
+        .send_raw(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 500\r\n\r\n0123456789")
+        .unwrap();
+    client.shutdown_write().unwrap();
+    // Fire a real request and vanish before reading the response.
+    let mut rude = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    rude.send_raw(
+        format!(
+            "POST /v1/infer HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    drop(rude);
+    // The server must shrug both off.
+    assert_healthy(&server, &body);
+}
+
+#[test]
+fn queue_overflow_answers_429_and_recovers() {
+    // One-item queue, long window, batch too large to fill: the second
+    // concurrent request must be refused with 429 while the first is still
+    // waiting out its window — then, once drained, traffic flows again.
+    let server = Server::start(
+        ModelCatalog::from_names(["MiniMLP"]),
+        ServerConfig {
+            port: 0,
+            batch: BatchConfig {
+                window: Duration::from_millis(700),
+                max_batch: 8,
+                max_queue: 1,
+                threads: 1,
+            },
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let body = healthy_body();
+    let addr = server.addr();
+    let first = {
+        let body = body.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+            client.infer(&body).unwrap()
+        })
+    };
+    // Give the first request time to occupy the queue, then overflow it.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+    let refused = client.infer(&body).unwrap();
+    assert_eq!(refused.status, 429, "{}", refused.body);
+    let accepted = first.join().unwrap();
+    assert_eq!(accepted.status, 200, "{}", accepted.body);
+    // After the window drains the same connection works again.
+    let retry = client.infer(&body).unwrap();
+    assert_eq!(retry.status, 200, "{}", retry.body);
+}
