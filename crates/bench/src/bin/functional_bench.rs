@@ -40,7 +40,7 @@
 
 use loom_core::export::{
     functional_bench_to_json, BatchBench, DatapathThroughputRow, FunctionalBenchReport,
-    KernelBench, ScalingPoint, ZooFunctionalRow,
+    KernelBench, ScalingPoint, WeightStoreBench, ZooFunctionalRow,
 };
 use loom_core::loom_model::graph::LayerGraph;
 use loom_core::loom_model::inference::{InferenceOptions, NetworkParams};
@@ -54,8 +54,8 @@ use loom_core::loom_sim::accelerator::Registry;
 use loom_core::loom_sim::config::LoomGeometry;
 use loom_core::loom_sim::datapath;
 use loom_core::loom_sim::loom::{
-    packed_inner_product, serial_inner_product, wide_inner_product, BitplaneBlock, FunctionalLoom,
-    NetworkEngine, SipKernel, WideBitplaneBlock, KERNEL_TIERS,
+    packed_inner_product, serial_inner_product, weight_store_stats, wide_inner_product,
+    BitplaneBlock, FunctionalLoom, NetworkEngine, SipKernel, WideBitplaneBlock, KERNEL_TIERS,
 };
 use loom_core::loom_sim::EquivalentConfig;
 use loom_core::sweep::SweepOptions;
@@ -557,6 +557,47 @@ fn main() {
         (None, None)
     };
 
+    // Pack-once probe: prepacking the same model twice must be served from
+    // the process-wide weight store the second time — CI gates on this with
+    // --require-repack-avoidance.
+    let probe_graph = resolve(if reduced { "MiniAlexNet" } else { "AlexNet" });
+    let probe_params =
+        NetworkParams::synthetic_for_graph(&probe_graph, &[Precision::new(8).unwrap()], 2018);
+    let probe_engine = NetworkEngine::new(geometry);
+    let first_pack = probe_engine.prepack(&probe_graph, &probe_params);
+    let before_probe = weight_store_stats();
+    let second_pack = probe_engine.prepack(&probe_graph, &probe_params);
+    let after_probe = weight_store_stats();
+    let repack_avoided = after_probe.packs() == before_probe.packs()
+        && after_probe.hits() >= before_probe.hits() + second_pack.packed_layers() as u64
+        && first_pack.packed_layers() > 0;
+    let store = after_probe;
+    let weight_store = WeightStoreBench {
+        packs: store.packs(),
+        hits: store.hits(),
+        evictions: store.evictions,
+        entries: store.entries,
+        resident_bytes: store.resident_bytes,
+        pack_seconds: store.pack.pack_nanos as f64 / 1e9,
+        dense_bytes: store.pack.dense_bytes,
+        compressed_bytes: store.pack.compressed_bytes,
+        compression_ratio: store.pack.ratio(),
+        repack_avoided,
+    };
+    println!(
+        "Weight store: {} packs / {} hits, {} resident entries ({:.1} KB); \
+         pack time {:.3}s; compressed {:.1} -> {:.1} KB resident \
+         (stream ratio {:.2}); repack avoided: {repack_avoided}",
+        weight_store.packs,
+        weight_store.hits,
+        weight_store.entries,
+        weight_store.resident_bytes as f64 / 1024.0,
+        weight_store.pack_seconds,
+        weight_store.dense_bytes as f64 / 1024.0,
+        weight_store.compressed_bytes as f64 / 1024.0,
+        weight_store.compression_ratio,
+    );
+
     let report = FunctionalBenchReport {
         kernels,
         conv_layer,
@@ -586,6 +627,7 @@ fn main() {
         datapaths,
         batch,
         latency,
+        weight_store,
     };
     println!(
         "Conv layer, wide vs bit-serial engine: {:.1}x (64-lane packed: {:.1}x)",
@@ -608,6 +650,17 @@ fn main() {
         eprintln!(
             "ERROR: a bit-exactness check failed (SIP kernels, a zoo network \
              vs the golden model, or a parallel batch vs the serial one)"
+        );
+        std::process::exit(1);
+    }
+    // Pack-once guard: repacking a model whose weights are already in the
+    // store is a perf regression even when results stay bit-exact.
+    if std::env::args().any(|a| a == "--require-repack-avoidance")
+        && !report.weight_store.repack_avoided
+    {
+        eprintln!(
+            "ERROR: the second prepack of the probe model was not served from \
+             the weight store (repack avoidance regressed)"
         );
         std::process::exit(1);
     }

@@ -87,12 +87,12 @@ pub fn table4_to_csv(table: &Table4) -> String {
 /// Exports the Figure 5 sweep as CSV (one row per design point).
 pub fn figure5_to_csv(figure: &Figure5) -> String {
     let mut out = String::from(
-        "config,loom_all,loom_conv,dstripes_all,dstripes_conv,loom_fps_all,loom_fps_conv,weight_memory_bytes,area_overhead,energy_efficiency\n",
+        "config,loom_all,loom_conv,dstripes_all,dstripes_conv,loom_fps_all,loom_fps_conv,weight_memory_bytes,area_overhead,energy_efficiency,loom_all_compressed,weight_compression,loom_offchip_bits,loom_offchip_compressed_bits\n",
     );
     for p in &figure.points {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             p.config,
             num(p.loom_all),
             num(p.loom_conv),
@@ -102,7 +102,11 @@ pub fn figure5_to_csv(figure: &Figure5) -> String {
             num(p.loom_fps_conv),
             p.weight_memory_bytes,
             num(p.area_overhead),
-            num(p.energy_efficiency)
+            num(p.energy_efficiency),
+            num(p.loom_all_compressed),
+            num(p.weight_compression),
+            num(p.loom_offchip_bits),
+            num(p.loom_offchip_compressed_bits)
         );
     }
     out
@@ -338,6 +342,36 @@ impl BatchBench {
     }
 }
 
+/// Process-wide weight-store and compression statistics at the end of a
+/// benchmark run, plus the explicit repack-avoidance probe: the same model
+/// prepacked twice, with the second pack required to be served from the
+/// store. CI gates on `repack_avoided` and archives the compression stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightStoreBench {
+    /// Containers packed (store misses) over the whole run.
+    pub packs: u64,
+    /// Lookups served from the store over the whole run.
+    pub hits: u64,
+    /// Containers evicted by the store's FIFO cap.
+    pub evictions: u64,
+    /// Containers resident at the end of the run.
+    pub entries: u64,
+    /// Approximate resident bytes of the packed (compressed) containers.
+    pub resident_bytes: u64,
+    /// Wall-clock seconds spent packing, cumulative over every store miss.
+    pub pack_seconds: f64,
+    /// Resident bytes the equivalent dense block layout would occupy.
+    pub dense_bytes: u64,
+    /// Resident bytes of the compressed blocks actually held.
+    pub compressed_bytes: u64,
+    /// Compressed-over-dense modeled DRAM stream ratio.
+    pub compression_ratio: f64,
+    /// Whether the second prepack of the probe model was fully served from
+    /// the store (no repacking). CI fails when `--require-repack-avoidance`
+    /// is given and this is false.
+    pub repack_avoided: bool,
+}
+
 /// One functional-benchmark measurement: the SIP kernel micro-benchmarks, a
 /// mid-size convolutional layer run end to end through the functional engine
 /// on all three kernels, the zoo networks through the whole-network engine
@@ -387,6 +421,9 @@ pub struct FunctionalBenchReport {
     /// Batch-of-1 latency scaling measurement (the same network as a single
     /// inference, intra-layer tasks fanned across the pool), if run.
     pub latency: Option<BatchBench>,
+    /// Weight-store counters, compression footprint and the repack-avoidance
+    /// probe outcome.
+    pub weight_store: WeightStoreBench,
 }
 
 impl FunctionalBenchReport {
@@ -577,10 +614,25 @@ pub fn functional_bench_to_json(report: &FunctionalBenchReport) -> String {
     }
     match &report.latency {
         Some(l) => {
-            let _ = writeln!(out, "  \"latency\": {}", batch_json(l));
+            let _ = writeln!(out, "  \"latency\": {},", batch_json(l));
         }
-        None => out.push_str("  \"latency\": null\n"),
+        None => out.push_str("  \"latency\": null,\n"),
     }
+    let ws = &report.weight_store;
+    let _ = writeln!(
+        out,
+        "  \"weight_store\": {{\"packs\": {}, \"hits\": {}, \"evictions\": {}, \"entries\": {}, \"resident_bytes\": {}, \"pack_seconds\": {:.6}, \"dense_bytes\": {}, \"compressed_bytes\": {}, \"compression_ratio\": {:.4}, \"repack_avoided\": {}}}",
+        ws.packs,
+        ws.hits,
+        ws.evictions,
+        ws.entries,
+        ws.resident_bytes,
+        ws.pack_seconds,
+        ws.dense_bytes,
+        ws.compressed_bytes,
+        ws.compression_ratio,
+        ws.repack_avoided
+    );
     out.push_str("}\n");
     out
 }
@@ -753,6 +805,18 @@ mod tests {
                     },
                 ],
             }),
+            weight_store: WeightStoreBench {
+                packs: 12,
+                hits: 20,
+                evictions: 0,
+                entries: 12,
+                resident_bytes: 48_000,
+                pack_seconds: 0.125,
+                dense_bytes: 96_000,
+                compressed_bytes: 48_000,
+                compression_ratio: 0.55,
+                repack_avoided: true,
+            },
         };
         assert!((report.conv_speedup() - 40.0).abs() < 1e-12);
         assert!((report.conv_packed_speedup() - 10.0).abs() < 1e-12);
@@ -794,6 +858,13 @@ mod tests {
         assert!(json.contains("\"active_kernel_tier\": \"avx2\""));
         // The batch-of-1 latency section mirrors the batch one.
         assert!(json.contains("\"latency\": {\"network\": \"AlexNet\", \"batch\": 1"));
+        // The weight-store section carries the pack-once and compression
+        // numbers CI archives.
+        assert!(json.contains(
+            "\"weight_store\": {\"packs\": 12, \"hits\": 20, \"evictions\": 0, \"entries\": 12, \
+             \"resident_bytes\": 48000, \"pack_seconds\": 0.125000, \"dense_bytes\": 96000, \
+             \"compressed_bytes\": 48000, \"compression_ratio\": 0.5500, \"repack_avoided\": true}"
+        ));
         assert!((report.latency.as_ref().unwrap().speedup() - 2.0).abs() < 1e-12);
         let mut bad = report.clone();
         bad.batch.as_mut().unwrap().identical = false;

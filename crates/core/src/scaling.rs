@@ -7,15 +7,18 @@ use crate::experiment::ExperimentSettings;
 use crate::sweep::SweepRunner;
 use loom_energy::area::area;
 use loom_energy::EnergyModel;
+use loom_mem::compress::CompressedPlanes;
 use loom_mem::hierarchy::{required_am_bytes, MemoryConfig, MemorySystem};
 use loom_mem::traffic::StoragePrecision;
 use loom_model::network::Network;
+use loom_model::synthetic;
 use loom_model::zoo;
 use loom_model::Precision;
 use loom_precision::table1;
 use loom_sim::counts::{geomean, NetworkSim};
 use loom_sim::engine::AcceleratorKind;
 use loom_sim::{EquivalentConfig, LoomVariant};
+use std::sync::OnceLock;
 
 /// One design point of the scaling study.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +43,20 @@ pub struct ScalingPoint {
     pub area_overhead: f64,
     /// Loom-1b energy efficiency relative to DPNN including off-chip traffic.
     pub energy_efficiency: f64,
+    /// Loom-1b performance relative to DPNN, all layers, when weights stream
+    /// from DRAM in the compressed bit-plane format (zero and
+    /// sign-extension planes elided).
+    pub loom_all_compressed: f64,
+    /// Loom-1b off-chip bits per frame with dense packed weight streams
+    /// (geomean across networks).
+    pub loom_offchip_bits: f64,
+    /// Loom-1b off-chip bits per frame with compressed weight streams
+    /// (geomean across networks).
+    pub loom_offchip_compressed_bits: f64,
+    /// Modeled compressed-over-packed weight-stream ratio (geomean across
+    /// networks); below 1.0 means the compressed format beats packed
+    /// precision-`pw` storage.
+    pub weight_compression: f64,
 }
 
 /// The assembled Figure 5 data.
@@ -55,24 +72,93 @@ pub fn weight_memory_bytes(config: usize) -> u64 {
     16 * 1024 * config as u64
 }
 
-/// Per-frame execution cycles with the memory system: per layer, the maximum of
-/// compute cycles and off-chip transfer cycles (compute and transfers overlap
-/// via double buffering).
-fn frame_cycles(sim: &NetworkSim, network: &Network, system: &MemorySystem) -> u64 {
-    sim.layers
-        .iter()
-        .zip(network.layers().iter())
-        .map(|(layer_sim, layer)| {
-            let usage = system.evaluate_layer(
+/// Values the compression-ratio table is measured over per precision; large
+/// enough that the truncated-geometric weight statistics are stable.
+const COMPRESSION_SAMPLE: usize = 4096;
+
+/// Modeled compressed-over-packed weight-stream ratio for weights stored at
+/// `precision` bits: synthetic weights with the calibrated distribution are
+/// compressed into the bit-plane format (zero and sign-extension planes
+/// elided) and the stream size is compared against packed `precision`-bit
+/// storage. Each 256-lane block ships whichever of the two encodings is
+/// smaller (the compressed header has room for the format-select flag), so
+/// compression never loses: low-precision layers fall back to packed storage,
+/// high-precision layers elide their mostly-empty upper planes. Memoized per
+/// precision — the statistics depend only on the distribution and the
+/// precision, not the layer.
+fn weight_compression_ratio(precision: Precision) -> f64 {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut ratios = vec![1.0];
+        for bits in 1..=16u8 {
+            let prec = Precision::new(bits).expect("1..=16 are valid precisions");
+            let weights =
+                synthetic::seeded_weights(0x10f5_c0de ^ u64::from(bits), COMPRESSION_SAMPLE, prec);
+            let mut packed_bits = 0u64;
+            let mut stream_bits = 0u64;
+            for chunk in weights.chunks(256) {
+                let block = CompressedPlanes::compress_values(chunk);
+                let packed = chunk.len() as u64 * u64::from(bits);
+                packed_bits += packed;
+                stream_bits += block.compressed_bits().min(packed);
+            }
+            ratios.push(stream_bits as f64 / packed_bits as f64);
+        }
+        ratios
+    });
+    table[precision.bits() as usize]
+}
+
+/// Per-frame costs with the memory system.
+struct FrameCosts {
+    /// Execution cycles: per layer, the maximum of compute cycles and
+    /// off-chip transfer cycles (compute and transfers overlap via double
+    /// buffering), summed over the network.
+    cycles: u64,
+    /// Off-chip bits moved per frame.
+    offchip_bits: u64,
+    /// Weight bits streamed per frame (the component compression shrinks).
+    weight_bits: u64,
+}
+
+/// Evaluates a network's per-frame memory costs; with `compressed` the weight
+/// streams are scaled by the modeled compression ratio at each layer's
+/// storage precision.
+fn frame_costs(
+    sim: &NetworkSim,
+    network: &Network,
+    system: &MemorySystem,
+    compressed: bool,
+) -> FrameCosts {
+    let mut costs = FrameCosts {
+        cycles: 0,
+        offchip_bits: 0,
+        weight_bits: 0,
+    };
+    for (layer_sim, layer) in sim.layers.iter().zip(network.layers().iter()) {
+        let storage = StoragePrecision {
+            activation: layer_sim.storage.activation,
+            weight: layer_sim.storage.weight,
+        };
+        let usage = if compressed {
+            system.evaluate_layer_compressed(
                 &layer.kind,
-                StoragePrecision {
-                    activation: layer_sim.storage.activation,
-                    weight: layer_sim.storage.weight,
-                },
-            );
-            layer_sim.cycles.max(usage.offchip_cycles)
-        })
-        .sum()
+                storage,
+                weight_compression_ratio(storage.weight),
+            )
+        } else {
+            system.evaluate_layer(&layer.kind, storage)
+        };
+        costs.cycles += layer_sim.cycles.max(usage.offchip_cycles);
+        costs.offchip_bits += usage.offchip_bits;
+        costs.weight_bits += usage.traffic.weight_bits;
+    }
+    costs
+}
+
+/// Per-frame execution cycles with the memory system (dense weight streams).
+fn frame_cycles(sim: &NetworkSim, network: &Network, system: &MemorySystem) -> u64 {
+    frame_costs(sim, network, system, false).cycles
 }
 
 /// Runs the full scaling sweep (all six networks, geomean aggregation)
@@ -104,6 +190,10 @@ fn scaling_point(runner: &SweepRunner, config: EquivalentConfig) -> ScalingPoint
     let mut loom_fps_all = Vec::new();
     let mut loom_fps_conv = Vec::new();
     let mut efficiency = Vec::new();
+    let mut loom_all_compressed = Vec::new();
+    let mut offchip_dense = Vec::new();
+    let mut offchip_compressed = Vec::new();
+    let mut weight_compression = Vec::new();
 
     for network in zoo::all() {
         // DPNN keeps 16-bit data and needs the 2 MB AM of §4.5; Loom's packed
@@ -126,12 +216,21 @@ fn scaling_point(runner: &SweepRunner, config: EquivalentConfig) -> ScalingPoint
         let ds = runner.simulate(&network, AcceleratorKind::DStripes, &settings);
 
         let dpnn_frame = frame_cycles(&dpnn, &network, &dpnn_system);
-        let lm_frame = frame_cycles(&lm, &network, &loom_system);
+        let lm_costs = frame_costs(&lm, &network, &loom_system, false);
+        let lm_costs_c = frame_costs(&lm, &network, &loom_system, true);
+        let lm_frame = lm_costs.cycles;
         let ds_frame = frame_cycles(&ds, &network, &dpnn_system);
 
         loom_all.push(dpnn_frame as f64 / lm_frame as f64);
         dstripes_all.push(dpnn_frame as f64 / ds_frame as f64);
         loom_fps_all.push(1e9 / lm_frame as f64);
+
+        // The compressed-weights series: same compute, weight streams shrunk
+        // by the modeled bit-plane compression ratio.
+        loom_all_compressed.push(dpnn_frame as f64 / lm_costs_c.cycles as f64);
+        offchip_dense.push((lm_costs.offchip_bits.max(1)) as f64);
+        offchip_compressed.push((lm_costs_c.offchip_bits.max(1)) as f64);
+        weight_compression.push(lm_costs_c.weight_bits as f64 / lm_costs.weight_bits.max(1) as f64);
 
         // Convolutional layers only (compute bound, §4.5).
         loom_conv.push(lm.conv_speedup_vs(&dpnn));
@@ -188,6 +287,10 @@ fn scaling_point(runner: &SweepRunner, config: EquivalentConfig) -> ScalingPoint
         weight_memory_bytes: wm,
         area_overhead: lm_area.total_mm2() / dpnn_area.total_mm2(),
         energy_efficiency: geomean(&efficiency),
+        loom_all_compressed: geomean(&loom_all_compressed),
+        loom_offchip_bits: geomean(&offchip_dense),
+        loom_offchip_compressed_bits: geomean(&offchip_compressed),
+        weight_compression: geomean(&weight_compression),
     }
 }
 
@@ -208,6 +311,10 @@ impl Figure5 {
             "WM",
             "Area ovh",
             "Energy eff",
+            "Loom-all(cw)",
+            "W-comp",
+            "Offchip Mb",
+            "Offchip Mb(cw)",
         ]);
         for p in &self.points {
             table.row(vec![
@@ -221,6 +328,10 @@ impl Figure5 {
                 format!("{} KB", p.weight_memory_bytes / 1024),
                 format!("{:.2}", p.area_overhead),
                 format!("{:.2}", p.energy_efficiency),
+                format!("{:.2}", p.loom_all_compressed),
+                format!("{:.2}", p.weight_compression),
+                format!("{:.1}", p.loom_offchip_bits / 1e6),
+                format!("{:.1}", p.loom_offchip_compressed_bits / 1e6),
             ]);
         }
         out.push_str(&table.render());
@@ -274,6 +385,45 @@ mod tests {
         // Absolute throughput still grows with the configuration.
         assert!(last.loom_fps_conv > first.loom_fps_conv);
         assert!(fig.render().contains("Figure 5"));
+    }
+
+    #[test]
+    fn compressed_weight_streams_cut_traffic_and_never_hurt() {
+        // The compression table itself: the per-block format select means
+        // compression never loses to packed storage, and the win grows with
+        // precision (more elidable high planes).
+        for bits in 1..=16u8 {
+            let r = weight_compression_ratio(Precision::new(bits).unwrap());
+            assert!(r > 0.0 && r <= 1.0, "ratio {r} at {bits} bits");
+        }
+        assert!(
+            weight_compression_ratio(Precision::new(16).unwrap())
+                < weight_compression_ratio(Precision::new(8).unwrap())
+        );
+        assert!(weight_compression_ratio(Precision::FULL) < 1.0);
+        let fig = figure5();
+        for p in &fig.points {
+            assert!(
+                p.weight_compression > 0.0 && p.weight_compression <= 1.0,
+                "config {}: weight compression {}",
+                p.config,
+                p.weight_compression
+            );
+            assert!(
+                p.loom_offchip_compressed_bits <= p.loom_offchip_bits,
+                "config {}",
+                p.config
+            );
+            // Shrinking transfers can only help overlapped frame time.
+            assert!(
+                p.loom_all_compressed >= p.loom_all * (1.0 - 1e-12),
+                "config {}",
+                p.config
+            );
+        }
+        let rendered = fig.render();
+        assert!(rendered.contains("Loom-all(cw)"));
+        assert!(rendered.contains("W-comp"));
     }
 
     #[test]

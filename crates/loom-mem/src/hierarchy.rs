@@ -89,6 +89,30 @@ impl MemorySystem {
         }
     }
 
+    /// Evaluates one layer whose weights stream in the compressed bitplane
+    /// format (see [`crate::compress`]): activations behave exactly as in
+    /// [`evaluate_layer`](Self::evaluate_layer), but the weight stream costs
+    /// `weight_ratio × dense` bits, where `weight_ratio` is the layer's
+    /// measured compressed-over-dense ratio.
+    pub fn evaluate_layer_compressed(
+        &self,
+        kind: &LayerKind,
+        storage: StoragePrecision,
+        weight_ratio: f64,
+    ) -> LayerMemoryUse {
+        let mut traffic = layer_traffic(kind, storage);
+        traffic.weight_bits = (traffic.weight_bits as f64 * weight_ratio).ceil() as u64;
+        let working_set = activation_working_set_bits(kind, storage.activation);
+        let spill = working_set.saturating_sub(self.config.am_bytes * 8);
+        let offchip_bits = traffic.weight_bits + 2 * spill;
+        LayerMemoryUse {
+            traffic,
+            working_set_bits: working_set,
+            offchip_bits,
+            offchip_cycles: self.dram.cycles_for_bits(offchip_bits),
+        }
+    }
+
     /// Total off-chip bits for a whole network, storing every layer's
     /// activations at `activation` bits and its weights at `weight` bits.
     pub fn network_offchip_bits(
@@ -157,6 +181,23 @@ mod tests {
         let usage = sys.evaluate_layer(&conv, StoragePrecision::baseline());
         assert!(usage.offchip_bits > usage.traffic.weight_bits);
         assert!(usage.offchip_cycles > 0);
+    }
+
+    #[test]
+    fn compressed_weights_cut_offchip_traffic_but_not_spill() {
+        let sys = MemorySystem::with_lpddr4(MemoryConfig::dpnn_default());
+        let conv = LayerKind::Conv(ConvSpec::simple(3, 32, 32, 16, 3));
+        let dense = sys.evaluate_layer(&conv, StoragePrecision::baseline());
+        let compressed = sys.evaluate_layer_compressed(&conv, StoragePrecision::baseline(), 0.5);
+        assert_eq!(
+            compressed.traffic.weight_bits,
+            dense.traffic.weight_bits / 2
+        );
+        assert_eq!(compressed.working_set_bits, dense.working_set_bits);
+        assert!(compressed.offchip_bits < dense.offchip_bits);
+        // A ratio of 1.0 reproduces the dense evaluation exactly.
+        let unity = sys.evaluate_layer_compressed(&conv, StoragePrecision::baseline(), 1.0);
+        assert_eq!(unity, dense);
     }
 
     #[test]

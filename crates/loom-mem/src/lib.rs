@@ -7,6 +7,9 @@
 //!   semantics and footprint arithmetic.
 //! * [`transposer`] — the output-activation transposer that rotates
 //!   bit-parallel SIP outputs into bit-interleaved storage.
+//! * [`compress`] — sparse compressed bitplane weight storage: all-zero and
+//!   pure-sign-extension planes elided behind per-block plane bitmaps, with
+//!   lossless round trips and modeled stream/resident footprints.
 //! * [`buffers`] — the ABin/ABout SRAM buffers and the AM/WM eDRAM memories as
 //!   capacity/access-count models.
 //! * [`dram`] — the single-channel LPDDR4-4267 off-chip memory of §4.5.
@@ -31,12 +34,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod buffers;
+pub mod compress;
 pub mod dram;
 pub mod hierarchy;
 pub mod packing;
 pub mod traffic;
 pub mod transposer;
 
+pub use compress::{compression_footprint, CompressedPlanes, PlaneRef, WeightCompression};
 pub use dram::DramChannel;
 pub use hierarchy::{MemoryConfig, MemorySystem};
 pub use traffic::{LayerTraffic, StoragePrecision};

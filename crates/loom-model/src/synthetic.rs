@@ -108,6 +108,16 @@ pub fn synthetic_weights<R: RngExt>(
     values
 }
 
+/// Generates `count` synthetic weights from a deterministic seed, with the
+/// default weight distribution — a convenience for callers (e.g. the scaling
+/// study's compressed-weight DRAM model) that need reproducible weight
+/// statistics at a given storage precision without threading an RNG through.
+pub fn seeded_weights(seed: u64, count: usize, precision: Precision) -> Vec<i32> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    synthetic_weights(&mut rng, count, precision, ValueDistribution::weights())
+}
+
 /// Generates `count` synthetic non-negative activations (post-ReLU) whose
 /// layer-wide required precision is exactly `precision`.
 ///

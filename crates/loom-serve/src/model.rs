@@ -44,6 +44,10 @@ pub struct ServedModel {
     pub input_shape: Shape3,
     /// Weights pre-packed for the wide datapath, shared across requests.
     pub cache: PackedModel,
+    /// Wall-clock seconds this model's `prepack` took at catalog build —
+    /// near zero when the process-wide weight store already held the layers
+    /// (e.g. a catalog rebuilt in the same process).
+    pub prepack_seconds: f64,
 }
 
 impl ServedModel {
@@ -60,12 +64,15 @@ impl ServedModel {
                 .expect("every zoo graph has a derivable input length");
             Shape3::new(1, 1, len)
         });
+        let started = std::time::Instant::now();
         let cache = engine.prepack(&graph, &params);
+        let prepack_seconds = started.elapsed().as_secs_f64();
         ServedModel {
             name,
             input_len: input_shape.len(),
             input_shape,
             cache,
+            prepack_seconds,
             graph,
             params,
         }

@@ -259,6 +259,7 @@ fn route(request: &Request, inner: &Inner) -> (u16, &'static str, String) {
         ("GET", "/healthz") => (200, "OK", r#"{"status":"ok"}"#.to_string()),
         ("GET", "/v1/models") => (200, "OK", models_body(inner)),
         ("GET", "/v1/stats") => (200, "OK", stats_body(inner)),
+        ("GET", "/metrics") => (200, "OK", metrics_body(inner)),
         ("POST", "/v1/infer") => infer(request, inner),
         ("POST", _) | ("GET", _) => (
             404,
@@ -430,6 +431,81 @@ fn models_body(inner: &Inner) -> String {
             .collect(),
     );
     Json::Object(vec![("models".to_string(), models)]).to_string()
+}
+
+/// Weight-cache observability: per-model prepack cost, resident compressed
+/// footprint, layers that exceeded the FC prepack cap (and therefore stream
+/// their row transpose on every request), plus the process-wide weight-store
+/// counters the catalogs share.
+fn metrics_body(inner: &Inner) -> String {
+    let store = loom_core::loom_sim::loom::weight_store_stats();
+    let models = Json::Array(
+        inner
+            .catalog
+            .models()
+            .iter()
+            .map(|m| {
+                let pack = m.cache.pack_stats();
+                let unpacked = Json::Array(
+                    m.cache
+                        .unpacked_fc_layers()
+                        .iter()
+                        .map(|name| Json::from(name.as_str()))
+                        .collect(),
+                );
+                Json::Object(vec![
+                    ("name".to_string(), Json::from(m.name)),
+                    (
+                        "prepack_seconds".to_string(),
+                        Json::Number(m.prepack_seconds),
+                    ),
+                    (
+                        "packed_layers".to_string(),
+                        Json::from(m.cache.packed_layers() as i64),
+                    ),
+                    ("unpacked_fc_layers".to_string(), unpacked),
+                    (
+                        "cache_bytes".to_string(),
+                        Json::from(m.cache.approx_bytes() as i64),
+                    ),
+                    (
+                        "dense_bytes".to_string(),
+                        Json::from(pack.dense_bytes as i64),
+                    ),
+                    (
+                        "compressed_bytes".to_string(),
+                        Json::from(pack.compressed_bytes as i64),
+                    ),
+                    ("compression_ratio".to_string(), Json::Number(pack.ratio())),
+                ])
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        (
+            "weight_store".to_string(),
+            Json::Object(vec![
+                ("packs".to_string(), Json::from(store.packs() as i64)),
+                ("hits".to_string(), Json::from(store.hits() as i64)),
+                ("evictions".to_string(), Json::from(store.evictions as i64)),
+                ("entries".to_string(), Json::from(store.entries as i64)),
+                (
+                    "resident_bytes".to_string(),
+                    Json::from(store.resident_bytes as i64),
+                ),
+                (
+                    "pack_seconds".to_string(),
+                    Json::Number(store.pack.pack_nanos as f64 / 1e9),
+                ),
+                (
+                    "compression_ratio".to_string(),
+                    Json::Number(store.pack.ratio()),
+                ),
+            ]),
+        ),
+        ("models".to_string(), models),
+    ])
+    .to_string()
 }
 
 fn stats_body(inner: &Inner) -> String {

@@ -36,7 +36,10 @@ use crate::config::LoomGeometry;
 use crate::loom::cost::{self, ConvPlan};
 use crate::loom::packed::{packed_inner_product, BitplaneBlock, MagnitudeOr};
 use crate::loom::sip::serial_inner_product;
-use crate::loom::wide::{wide_inner_product, WideBitplaneBlock, WIDE_LANES, WIDE_WORDS};
+use crate::loom::wide::{
+    compressed_inner_product, wide_inner_product, CompressedWideBlock, WideBitplaneBlock,
+    WIDE_LANES, WIDE_WORDS,
+};
 use crate::pool;
 use loom_model::fixed::{Precision, MAX_PRECISION};
 use loom_model::im2col::{window_patch, window_patch_into, WindowPatch};
@@ -155,7 +158,7 @@ impl FunctionalLoom {
         pw: Precision,
     ) -> FunctionalRun {
         if self.kernel == SipKernel::Wide {
-            let filters = FunctionalLoom::pack_wide_filters(spec, weights);
+            let filters = crate::loom::store::conv_planes(spec, weights);
             let job = self.wide_conv_job(spec, input, &filters, pa, pw, self.threads);
             let tasks = pool::ordered_map_with(
                 self.threads,
@@ -394,11 +397,13 @@ impl FunctionalLoom {
             spec.weight_shape(),
             "weight shape mismatch"
         );
+        let start = std::time::Instant::now();
         let wpf = spec.weights_per_filter();
         let blocks_per_filter = wpf.div_ceil(WIDE_LANES);
         let mut blocks = Vec::with_capacity(spec.filters * blocks_per_filter);
         let mut precisions = Vec::with_capacity(blocks.capacity());
         let mut zero = Vec::with_capacity(blocks.capacity());
+        let mut stats = PackStats::default();
         for k in 0..spec.filters {
             let filter = weights.filter(k);
             for b in 0..blocks_per_filter {
@@ -407,14 +412,18 @@ impl FunctionalLoom {
                 let block = WideBitplaneBlock::pack(&filter[base..base + count]);
                 precisions.push(block.detected_precision(true));
                 zero.push(block.is_zero());
-                blocks.push(block);
+                let compressed = CompressedWideBlock::compress(&block);
+                stats.absorb_block(&compressed);
+                blocks.push(compressed);
             }
         }
+        stats.pack_nanos = start.elapsed().as_nanos() as u64;
         WideFilterPlanes {
             blocks,
             precisions,
             zero,
             blocks_per_filter,
+            stats,
         }
     }
 
@@ -503,23 +512,80 @@ pub(crate) fn merge_conv_tasks(
     }
 }
 
-/// A convolution's weights in wide bit-plane form: `filters ×
+/// Cost and footprint of packing one weight container into the compressed
+/// wide format: wall time spent transposing + compressing, the resident bytes
+/// a dense block layout would have needed versus what the compressed blocks
+/// actually hold, and the modeled DRAM stream bits both ways. Aggregated
+/// across containers by the weight store and the bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackStats {
+    /// Nanoseconds spent transposing and compressing.
+    pub pack_nanos: u64,
+    /// Resident bytes of the equivalent dense block layout.
+    pub dense_bytes: u64,
+    /// Resident bytes of the compressed blocks actually held.
+    pub compressed_bytes: u64,
+    /// Modeled DRAM stream bits of the dense layout (16 bits per weight).
+    pub dense_stream_bits: u64,
+    /// Modeled DRAM stream bits of the compressed layout (bitmaps + sign
+    /// plane + stored planes).
+    pub compressed_stream_bits: u64,
+}
+
+impl PackStats {
+    /// Compressed-over-dense stream ratio (1.0 when nothing was packed).
+    pub fn ratio(&self) -> f64 {
+        if self.dense_stream_bits > 0 {
+            self.compressed_stream_bits as f64 / self.dense_stream_bits as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Accumulates another container's stats into this one.
+    pub fn add(&mut self, other: &PackStats) {
+        self.pack_nanos += other.pack_nanos;
+        self.dense_bytes += other.dense_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+        self.dense_stream_bits += other.dense_stream_bits;
+        self.compressed_stream_bits += other.compressed_stream_bits;
+    }
+
+    /// Absorbs one freshly compressed block into the footprint counters.
+    fn absorb_block(&mut self, block: &CompressedWideBlock) {
+        self.dense_bytes += std::mem::size_of::<WideBitplaneBlock>() as u64;
+        self.compressed_bytes += block.resident_bytes() as u64;
+        self.dense_stream_bits += block.planes().dense_bits();
+        self.compressed_stream_bits += block.planes().compressed_bits();
+    }
+}
+
+/// A convolution's weights in compressed wide bit-plane form: `filters ×
 /// blocks_per_filter` blocks, filter-major, with the per-block detected
-/// signed precisions and all-zero flags computed at pack time.
+/// signed precisions and all-zero flags computed at pack time. The kernels
+/// consume the compressed blocks in place; results are bit-identical to the
+/// dense layout this replaced.
 pub(crate) struct WideFilterPlanes {
-    blocks: Vec<WideBitplaneBlock>,
+    blocks: Vec<CompressedWideBlock>,
     precisions: Vec<Precision>,
     zero: Vec<bool>,
     blocks_per_filter: usize,
+    stats: PackStats,
 }
 
 impl WideFilterPlanes {
     /// Approximate resident size, for cache observability.
     pub(crate) fn approx_bytes(&self) -> usize {
-        self.blocks.len()
-            * (std::mem::size_of::<WideBitplaneBlock>()
-                + std::mem::size_of::<Precision>()
-                + std::mem::size_of::<bool>())
+        self.blocks
+            .iter()
+            .map(CompressedWideBlock::resident_bytes)
+            .sum::<usize>()
+            + self.blocks.len() * (std::mem::size_of::<Precision>() + std::mem::size_of::<bool>())
+    }
+
+    /// Pack cost and compression footprint of this container.
+    pub(crate) fn stats(&self) -> PackStats {
+        self.stats
     }
 }
 
@@ -768,7 +834,7 @@ impl WideConvJob<'_> {
                     if self.filters.zero[wbase + blk] || arena.act_zero[abase + blk] {
                         continue;
                     }
-                    acc += wide_inner_product(
+                    acc += compressed_inner_product(
                         &self.filters.blocks[wbase + blk],
                         &arena.acts[abase + blk],
                         self.filters.precisions[wbase + blk],
@@ -843,22 +909,25 @@ struct FcPackedInput {
     zero: Vec<bool>,
 }
 
-/// A fully-connected layer's weight rows in wide bit-plane form, packed once
-/// and reused across requests (the serving layer's per-model weight cache).
-/// Row-major: row `r`, chunk `c` lives at `r * chunks + c`, mirroring the
-/// layout [`WideFcJob::run_rows`] streams through its arena — a job reading
-/// these blocks computes bit-identical results to one that packs on the fly.
+/// A fully-connected layer's weight rows in compressed wide bit-plane form,
+/// packed once and reused across requests (the serving layer's per-model
+/// weight cache). Row-major: row `r`, chunk `c` lives at `r * chunks + c`,
+/// mirroring the layout [`WideFcJob::run_rows`] streams through its arena — a
+/// job reading these blocks computes bit-identical results to one that packs
+/// on the fly.
 pub(crate) struct PackedFcRows {
-    blocks: Vec<WideBitplaneBlock>,
+    blocks: Vec<CompressedWideBlock>,
     pw: Vec<Precision>,
     zero: Vec<bool>,
     chunks: usize,
+    stats: PackStats,
 }
 
 impl PackedFcRows {
-    /// Transposes every weight row of `spec` into wide blocks with per-block
-    /// detected precisions and zero flags — exactly what the streaming path
-    /// computes per row per dispatch, hoisted to pack-once time.
+    /// Transposes every weight row of `spec` into compressed wide blocks with
+    /// per-block detected precisions and zero flags — exactly what the
+    /// streaming path computes per row per dispatch, hoisted to pack-once
+    /// time.
     ///
     /// # Panics
     ///
@@ -869,11 +938,13 @@ impl PackedFcRows {
             spec.in_features * spec.out_features,
             "weight length mismatch"
         );
+        let start = std::time::Instant::now();
         let chunks = spec.in_features.div_ceil(WIDE_LANES);
         let total = spec.out_features * chunks;
         let mut blocks = Vec::with_capacity(total);
         let mut pw = Vec::with_capacity(total);
         let mut zero = Vec::with_capacity(total);
+        let mut stats = PackStats::default();
         for r in 0..spec.out_features {
             let row = &weights[r * spec.in_features..(r + 1) * spec.in_features];
             for chunk in 0..chunks {
@@ -882,23 +953,33 @@ impl PackedFcRows {
                 let block = WideBitplaneBlock::pack(&row[base..base + count]);
                 pw.push(block.detected_precision(true));
                 zero.push(block.is_zero());
-                blocks.push(block);
+                let compressed = CompressedWideBlock::compress(&block);
+                stats.absorb_block(&compressed);
+                blocks.push(compressed);
             }
         }
+        stats.pack_nanos = start.elapsed().as_nanos() as u64;
         PackedFcRows {
             blocks,
             pw,
             zero,
             chunks,
+            stats,
         }
     }
 
     /// Approximate resident size, for cache observability.
     pub(crate) fn approx_bytes(&self) -> usize {
-        self.blocks.len()
-            * (std::mem::size_of::<WideBitplaneBlock>()
-                + std::mem::size_of::<Precision>()
-                + std::mem::size_of::<bool>())
+        self.blocks
+            .iter()
+            .map(CompressedWideBlock::resident_bytes)
+            .sum::<usize>()
+            + self.blocks.len() * (std::mem::size_of::<Precision>() + std::mem::size_of::<bool>())
+    }
+
+    /// Pack cost and compression footprint of this container.
+    pub(crate) fn stats(&self) -> PackStats {
+        self.stats
     }
 }
 
@@ -1011,48 +1092,59 @@ impl<'a> WideFcJob<'a> {
         }
         for r in r0..r1 {
             // One row's blocks, either streamed into the worker arena (the
-            // default) or read from the per-model cache; the cached blocks
-            // were produced by the same transpose, so both paths feed the
-            // kernel identical planes, precisions and zero flags.
-            let (blocks, pw, zero): (&[WideBitplaneBlock], &[Precision], &[bool]) =
-                match self.packed {
-                    Some(rows) => {
-                        let base = r * self.chunks;
-                        (
-                            &rows.blocks[base..base + self.chunks],
-                            &rows.pw[base..base + self.chunks],
-                            &rows.zero[base..base + self.chunks],
-                        )
-                    }
-                    None => {
-                        let row = &self.weights
-                            [r * self.spec.in_features..(r + 1) * self.spec.in_features];
+            // default) or read from the per-model compressed cache; the
+            // cached blocks were produced by the same transpose (compressed
+            // losslessly), so both paths feed the kernel identical planes,
+            // precisions and zero flags.
+            match self.packed {
+                Some(rows) => {
+                    let base = r * self.chunks;
+                    for (item, input) in self.items.iter().enumerate() {
+                        let mut acc = 0i64;
                         for chunk in 0..self.chunks {
-                            let base = chunk * WIDE_LANES;
-                            let count = WIDE_LANES.min(self.spec.in_features - base);
-                            arena.blocks[chunk].pack_into(&row[base..base + count]);
-                            arena.pw[chunk] = arena.blocks[chunk].detected_precision(true);
-                            arena.zero[chunk] = arena.blocks[chunk].is_zero();
+                            if rows.zero[base + chunk] || input.zero[chunk] {
+                                continue;
+                            }
+                            acc += compressed_inner_product(
+                                &rows.blocks[base + chunk],
+                                &input.blocks[chunk],
+                                rows.pw[base + chunk].min(self.pw),
+                                input.pa[chunk],
+                                true,
+                                true,
+                            );
                         }
-                        (&arena.blocks, &arena.pw, &arena.zero)
+                        out[(r - r0) * items + item] = acc;
                     }
-                };
-            for (item, input) in self.items.iter().enumerate() {
-                let mut acc = 0i64;
-                for chunk in 0..self.chunks {
-                    if zero[chunk] || input.zero[chunk] {
-                        continue;
-                    }
-                    acc += wide_inner_product(
-                        &blocks[chunk],
-                        &input.blocks[chunk],
-                        pw[chunk].min(self.pw),
-                        input.pa[chunk],
-                        true,
-                        true,
-                    );
                 }
-                out[(r - r0) * items + item] = acc;
+                None => {
+                    let row =
+                        &self.weights[r * self.spec.in_features..(r + 1) * self.spec.in_features];
+                    for chunk in 0..self.chunks {
+                        let base = chunk * WIDE_LANES;
+                        let count = WIDE_LANES.min(self.spec.in_features - base);
+                        arena.blocks[chunk].pack_into(&row[base..base + count]);
+                        arena.pw[chunk] = arena.blocks[chunk].detected_precision(true);
+                        arena.zero[chunk] = arena.blocks[chunk].is_zero();
+                    }
+                    for (item, input) in self.items.iter().enumerate() {
+                        let mut acc = 0i64;
+                        for chunk in 0..self.chunks {
+                            if arena.zero[chunk] || input.zero[chunk] {
+                                continue;
+                            }
+                            acc += wide_inner_product(
+                                &arena.blocks[chunk],
+                                &input.blocks[chunk],
+                                arena.pw[chunk].min(self.pw),
+                                input.pa[chunk],
+                                true,
+                                true,
+                            );
+                        }
+                        out[(r - r0) * items + item] = acc;
+                    }
+                }
             }
         }
         out

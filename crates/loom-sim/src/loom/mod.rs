@@ -9,16 +9,19 @@ pub mod network;
 pub mod packed;
 pub mod schedule;
 pub mod sip;
+pub mod store;
 pub mod wide;
 
-pub use functional::{FunctionalLoom, FunctionalRun, SipKernel};
+pub use functional::{FunctionalLoom, FunctionalRun, PackStats, SipKernel};
 pub use network::{NetworkEngine, NetworkRun, PackedModel};
 pub use packed::{
     packed_inner_product, packed_inner_product_slices, BitplaneBlock, MagnitudeOr, MAX_LANES,
 };
 pub use schedule::{conv_schedule, fc_schedule, ScheduleResult};
 pub use sip::{reference_inner_product, serial_inner_product, Sip};
+pub use store::{stats as weight_store_stats, WeightStoreStats};
 pub use wide::{
-    active_kernel_tier, cpu_features, wide_inner_product, wide_inner_product_slices, CpuFeatures,
-    KernelTier, WideBitplaneBlock, KERNEL_TIERS, WIDE_LANES,
+    active_kernel_tier, compressed_inner_product, cpu_features, wide_inner_product,
+    wide_inner_product_slices, CompressedWideBlock, CpuFeatures, KernelTier, WideBitplaneBlock,
+    KERNEL_TIERS, WIDE_LANES,
 };

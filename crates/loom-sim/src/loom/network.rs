@@ -65,9 +65,10 @@
 
 use crate::config::LoomGeometry;
 use crate::loom::functional::{
-    merge_conv_tasks, ConvArena, FcArena, FunctionalLoom, PackedFcRows, SipKernel, WideFcJob,
-    WideFilterPlanes,
+    merge_conv_tasks, ConvArena, FcArena, FunctionalLoom, PackStats, PackedFcRows, SipKernel,
+    WideFcJob, WideFilterPlanes,
 };
+use crate::loom::store;
 use crate::pool;
 use loom_model::fixed::required_precision;
 use loom_model::graph::{GraphCompute, LayerGraph};
@@ -76,6 +77,7 @@ use loom_model::layer::{ConvSpec, FcSpec, LayerKind};
 use loom_model::tensor::{Tensor3, Tensor4};
 use loom_model::Precision;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of running a whole network through the functional engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,10 +98,11 @@ pub struct NetworkRun {
 /// weights — every reduced network and MLP head — caches comfortably.
 pub const FC_PREPACK_MAX_WEIGHTS: usize = 1 << 22;
 
-/// One convolution's cache entry: the layer's wide filter planes plus its
-/// weight precision, both otherwise recomputed on every dispatch.
+/// One convolution's cache entry: the layer's wide filter planes (shared
+/// with the process-wide weight store) plus its weight precision, both
+/// otherwise recomputed on every dispatch.
 struct CachedConv {
-    planes: WideFilterPlanes,
+    planes: Arc<WideFilterPlanes>,
     pw: Precision,
 }
 
@@ -107,7 +110,7 @@ struct CachedConv {
 /// [`FC_PREPACK_MAX_WEIGHTS`] (the dispatch streams the transpose as
 /// before); the weight precision is cached either way.
 struct CachedFc {
-    rows: Option<PackedFcRows>,
+    rows: Option<Arc<PackedFcRows>>,
     pw: Precision,
 }
 
@@ -141,7 +144,8 @@ impl PackedModel {
         self.conv.len() + self.fc.values().filter(|f| f.rows.is_some()).count()
     }
 
-    /// Approximate resident size of the packed planes, for observability.
+    /// Approximate resident size of the packed (compressed) planes, for
+    /// observability.
     pub fn approx_bytes(&self) -> usize {
         self.conv
             .values()
@@ -151,8 +155,41 @@ impl PackedModel {
                 .fc
                 .values()
                 .filter_map(|f| f.rows.as_ref())
-                .map(PackedFcRows::approx_bytes)
+                .map(|rows| rows.approx_bytes())
                 .sum::<usize>()
+    }
+
+    /// Names of fully-connected layers whose weight count exceeded
+    /// [`FC_PREPACK_MAX_WEIGHTS`] and therefore stream their row transpose
+    /// per dispatch instead of being cached (sorted for stable reporting).
+    /// Empty for every reduced zoo network and MLP head — non-empty means
+    /// the model pays the streaming path on every request.
+    pub fn unpacked_fc_layers(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .fc
+            .iter()
+            .filter(|(_, fc)| fc.rows.is_none())
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Aggregated pack cost and compression footprint over every cached
+    /// container: original pack wall time, resident bytes before/after
+    /// compression and the modeled DRAM stream bits both ways. Containers
+    /// served from the weight store report the cost of their original pack.
+    pub fn pack_stats(&self) -> PackStats {
+        let mut total = PackStats::default();
+        for conv in self.conv.values() {
+            total.add(&conv.planes.stats());
+        }
+        for fc in self.fc.values() {
+            if let Some(rows) = &fc.rows {
+                total.add(&rows.stats());
+            }
+        }
+        total
     }
 }
 
@@ -280,14 +317,14 @@ impl NetworkEngine {
                     conv.insert(
                         name.to_string(),
                         CachedConv {
-                            planes: FunctionalLoom::pack_wide_filters(spec, &tensor),
+                            planes: store::conv_planes(spec, &tensor),
                             pw,
                         },
                     );
                 }
                 LayerKind::FullyConnected(spec) => {
                     let rows = (weights.values.len() <= FC_PREPACK_MAX_WEIGHTS)
-                        .then(|| PackedFcRows::pack(spec, &weights.values));
+                        .then(|| store::fc_rows(spec, &weights.values));
                     fc.insert(name.to_string(), CachedFc { rows, pw });
                 }
                 LayerKind::MaxPool(_) => {}
@@ -449,10 +486,10 @@ impl GraphCompute for FunctionalCompute<'_> {
         // as the pool gets one task per item.
         let units = self.threads.div_ceil(inputs.len()).max(1);
         let packed_local;
-        let filters = match cached {
+        let filters: &WideFilterPlanes = match cached {
             Some(cached) => &cached.planes,
             None => {
-                packed_local = FunctionalLoom::pack_wide_filters(spec, weights);
+                packed_local = store::conv_planes(spec, weights);
                 &packed_local
             }
         };
@@ -528,7 +565,7 @@ impl GraphCompute for FunctionalCompute<'_> {
         // Wide path: inputs pack once per item, each weight row packs once
         // for the whole batch, and output-row groups fan across the pool.
         let item_slices: Vec<&[i32]> = inputs.iter().map(|v| v.as_slice()).collect();
-        let rows = cached.and_then(|cached| cached.rows.as_ref());
+        let rows = cached.and_then(|cached| cached.rows.as_deref());
         let job = WideFcJob::new(spec, &item_slices, weights, pw, self.threads, rows);
         let row_chunks = pool::ordered_map_with(
             self.threads,
@@ -769,6 +806,15 @@ mod tests {
                 .collect(),
         };
         assert_eq!(stripped.packed_layers(), 0);
+        // The full cache packed everything, the stripped one nothing — the
+        // unpacked-layer report (surfaced by loom-serve `/metrics`) must say so.
+        assert!(cache.unpacked_fc_layers().is_empty());
+        let mut unpacked = stripped.unpacked_fc_layers();
+        unpacked.sort();
+        let mut expected: Vec<String> = stripped.fc.keys().cloned().collect();
+        expected.sort();
+        assert_eq!(unpacked, expected);
+        assert!(!expected.is_empty());
         let batch = mlp_inputs(2);
         let options = InferenceOptions::default();
         let uncached = engine.run_batch(&graph, &params, &batch, options).unwrap();
@@ -776,6 +822,31 @@ mod tests {
             .run_batch_cached(&graph, &params, &batch, options, Some(&stripped))
             .unwrap();
         assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn prepacking_the_same_model_twice_hits_the_weight_store() {
+        let graph = branching_graph();
+        let params = NetworkParams::synthetic_for_graph(&graph, &[Precision::new(6).unwrap()], 5);
+        let engine = NetworkEngine::new(geometry());
+        let first = engine.prepack(&graph, &params);
+        let before = crate::loom::store::stats();
+        let second = engine.prepack(&graph, &params);
+        let after = crate::loom::store::stats();
+        // Every container in the second cache is served from the store: no
+        // new packs, only hits.
+        assert_eq!(
+            after.packs(),
+            before.packs(),
+            "second prepack must not repack"
+        );
+        assert!(after.hits() >= before.hits() + first.packed_layers() as u64);
+        assert_eq!(second.packed_layers(), first.packed_layers());
+        assert_eq!(second.approx_bytes(), first.approx_bytes());
+        let stats = second.pack_stats();
+        assert!(stats.compressed_bytes > 0);
+        assert!(stats.compressed_bytes <= stats.dense_bytes);
+        assert!(stats.compressed_stream_bits <= stats.dense_stream_bits);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! plane of a two's-complement value equals its sign, so those planes are
 //! filled with the sign word directly).
 
+use loom_mem::compress::{CompressedPlanes, PlaneRef, PLANE_LANES, PLANE_WORDS};
 use loom_model::fixed::{Precision, MAX_PRECISION};
 
 /// Lanes per [`WideBitplaneBlock`]: four 64-bit plane words.
@@ -48,6 +49,10 @@ pub const WIDE_LANES: usize = 256;
 
 /// Plane words per block (`WIDE_LANES / 64`).
 pub const WIDE_WORDS: usize = WIDE_LANES / 64;
+
+// The compressed format in loom-mem and the wide block here must agree on
+// block geometry for the zero-copy plane handoff below.
+const _: () = assert!(WIDE_LANES == PLANE_LANES && WIDE_WORDS == PLANE_WORDS);
 
 /// Up to 256 lanes of operands, transposed into `[u64; 4]` words per bit
 /// plane.
@@ -206,6 +211,136 @@ impl WideBitplaneBlock {
     }
 }
 
+/// Slot marker: the plane is all zeros (elided, contributes nothing).
+const SLOT_ZERO: u8 = 0xff;
+/// Slot marker: the plane equals the sign plane (pure sign extension).
+const SLOT_SIGN: u8 = 0xfe;
+
+/// A [`WideBitplaneBlock`] stored in the sparse compressed format of
+/// [`loom_mem::compress`]: all-zero planes are elided, pure-sign-extension
+/// planes resolve to the shared sign plane, and only the remaining planes are
+/// materialised. The wide kernels consume this form directly — an elided
+/// plane is skipped in the weight-bit loop (its contribution is exactly
+/// zero), and a sign-extension plane reads the sign words, so every inner
+/// product is bit-identical to the dense path on every kernel tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedWideBlock {
+    inner: CompressedPlanes,
+    /// Per-bit resolution LUT: [`SLOT_ZERO`], [`SLOT_SIGN`], or an index
+    /// into the stored-plane array — one branchless lookup per weight bit.
+    slots: [u8; MAX_PRECISION as usize],
+    zero: bool,
+}
+
+impl CompressedWideBlock {
+    /// Compresses a dense block. Lossless: [`decompress`](Self::decompress)
+    /// reproduces `block` exactly, including lanes and sign words.
+    pub fn compress(block: &WideBitplaneBlock) -> Self {
+        let inner = CompressedPlanes::from_dense(block.lanes, &block.planes, &block.signs);
+        let mut slots = [SLOT_ZERO; MAX_PRECISION as usize];
+        let mut next = 0u8;
+        for (bit, slot) in slots.iter_mut().enumerate() {
+            *slot = match inner.plane(bit as u8) {
+                PlaneRef::Stored(_) => {
+                    next += 1;
+                    next - 1
+                }
+                PlaneRef::SignExtended => SLOT_SIGN,
+                PlaneRef::Zero => SLOT_ZERO,
+            };
+        }
+        CompressedWideBlock {
+            inner,
+            slots,
+            zero: block.is_zero(),
+        }
+    }
+
+    /// Reconstructs the dense block, bit-identical to what
+    /// [`compress`](Self::compress) consumed.
+    pub fn decompress(&self) -> WideBitplaneBlock {
+        let (planes, signs) = self.inner.to_dense();
+        WideBitplaneBlock {
+            lanes: self.inner.lanes(),
+            planes,
+            signs,
+        }
+    }
+
+    /// Resolves weight plane `wb`: `None` when the plane is all zeros (the
+    /// kernels skip it outright), otherwise the four plane words.
+    #[inline(always)]
+    fn plane(&self, wb: usize) -> Option<&[u64; WIDE_WORDS]> {
+        match self.slots[wb] {
+            SLOT_ZERO => None,
+            SLOT_SIGN => Some(self.inner.signs()),
+            index => Some(&self.inner.stored_planes()[usize::from(index)]),
+        }
+    }
+
+    /// Number of packed lanes.
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    /// Whether every packed lane is zero (same contract as
+    /// [`WideBitplaneBlock::is_zero`], captured at compression time).
+    pub fn is_zero(&self) -> bool {
+        self.zero
+    }
+
+    /// The smallest precision covering every packed lane — identical to
+    /// [`WideBitplaneBlock::detected_precision`] on the dense block, computed
+    /// here from the compressed form (an elided zero plane's magnitude view
+    /// is the sign plane; a sign-extension plane's is zero).
+    pub fn detected_precision(&self, signed: bool) -> Precision {
+        let signs = *self.inner.signs();
+        let highest = (0..MAX_PRECISION).rev().find(|&bit| {
+            let magnitude: [u64; WIDE_WORDS] = match self.plane(usize::from(bit)) {
+                None => signs,
+                Some(plane) => std::array::from_fn(|w| plane[w] ^ signs[w]),
+            };
+            magnitude != [0; WIDE_WORDS]
+        });
+        match highest {
+            None => Precision::saturating(1),
+            Some(bit) => Precision::saturating(bit + if signed { 2 } else { 1 }),
+        }
+    }
+
+    /// The underlying compressed-plane storage (footprint accounting).
+    pub fn planes(&self) -> &CompressedPlanes {
+        &self.inner
+    }
+
+    /// Resident bytes of this block (headers + stored plane words).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<CompressedPlanes>()
+            + self.inner.resident_bytes()
+    }
+}
+
+/// The weight operand of the wide kernels: either a dense block or a
+/// compressed one. Both resolve per-bit plane words through
+/// [`plane`](Self::plane); the dense arm always yields a plane, the
+/// compressed arm yields `None` for elided all-zero planes so the kernels
+/// skip them.
+#[derive(Clone, Copy)]
+enum WeightPlanes<'a> {
+    Dense(&'a WideBitplaneBlock),
+    Compressed(&'a CompressedWideBlock),
+}
+
+impl<'a> WeightPlanes<'a> {
+    #[inline(always)]
+    fn plane(self, wb: usize) -> Option<&'a [u64; WIDE_WORDS]> {
+        match self {
+            WeightPlanes::Dense(block) => Some(&block.planes[wb]),
+            WeightPlanes::Compressed(block) => block.plane(wb),
+        }
+    }
+}
+
 /// Plane extraction cutoff: the widest magnitude (sign-excluded) bit count of
 /// any value in the slice. Every plane at or above the cutoff equals the sign
 /// plane, so packers fill those planes from the sign words instead of
@@ -272,7 +407,7 @@ unsafe fn pack_avx2(block: &mut WideBitplaneBlock, values: &[i32]) {
 /// pair evaluated as four AND + popcount word operations.
 #[inline(always)]
 fn wide_product_core(
-    w: &WideBitplaneBlock,
+    w: WeightPlanes<'_>,
     a: &WideBitplaneBlock,
     pw: usize,
     pa: usize,
@@ -282,7 +417,10 @@ fn wide_product_core(
     let pa_msb = pa - 1;
     let mut or_register = 0i64;
     for wb in 0..pw {
-        let wp = &w.planes[wb];
+        // An elided all-zero weight plane contributes zero to every
+        // accumulator (including the negated weight-MSB plane: -0 = 0), so
+        // skipping it preserves bit-exactness at any precision pair.
+        let Some(wp) = w.plane(wb) else { continue };
         let mut acc1 = 0i64;
         for (ab, ap) in a.planes[..pa].iter().enumerate() {
             let count = (wp[0] & ap[0]).count_ones()
@@ -311,7 +449,7 @@ fn wide_product_core(
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "popcnt")]
 unsafe fn wide_product_popcnt(
-    w: &WideBitplaneBlock,
+    w: WeightPlanes<'_>,
     a: &WideBitplaneBlock,
     pw: usize,
     pa: usize,
@@ -341,7 +479,7 @@ unsafe fn hsum_epi64(v: std::arch::x86_64::__m256i) -> i64 {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn wide_product_avx2(
-    w: &WideBitplaneBlock,
+    w: WeightPlanes<'_>,
     a: &WideBitplaneBlock,
     pw: usize,
     pa: usize,
@@ -386,7 +524,10 @@ unsafe fn wide_product_avx2(
     let mut wmsb_msb = zero;
     let w_last = if weights_signed { pw - 1 } else { pw };
     for wb in 0..pw {
-        let wp = _mm256_loadu_si256(w.planes[wb].as_ptr().cast());
+        // Elided all-zero weight planes contribute nothing to any
+        // accumulator, so they are skipped before the load.
+        let Some(plane) = w.plane(wb) else { continue };
+        let wp = _mm256_loadu_si256(plane.as_ptr().cast());
         let wp_lo = _mm256_and_si256(wp, low_mask);
         let wp_hi = _mm256_and_si256(_mm256_srli_epi32::<4>(wp), low_mask);
         let mut acc = zero;
@@ -515,7 +656,7 @@ unsafe fn pair_shifts_512(ab: usize) -> std::arch::x86_64::__m512i {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512bw")]
 unsafe fn wide_product_avx512(
-    w: &WideBitplaneBlock,
+    w: WeightPlanes<'_>,
     a: &WideBitplaneBlock,
     pw: usize,
     pa: usize,
@@ -554,7 +695,9 @@ unsafe fn wide_product_avx512(
     let mut wmsb_msb = zero;
     let w_last = if weights_signed { pw - 1 } else { pw };
     for wb in 0..pw {
-        let wz = broadcast_plane_512(&w.planes[wb]);
+        // Elided all-zero weight planes are skipped before the broadcast.
+        let Some(plane) = w.plane(wb) else { continue };
+        let wz = broadcast_plane_512(plane);
         let wp_lo = _mm512_and_si512(wz, low_mask);
         let wp_hi = _mm512_and_si512(_mm512_srli_epi32::<4>(wz), low_mask);
         let mut acc = zero;
@@ -619,7 +762,7 @@ unsafe fn wide_product_avx512(
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512vpopcntdq")]
 unsafe fn wide_product_avx512_vpopcnt(
-    w: &WideBitplaneBlock,
+    w: WeightPlanes<'_>,
     a: &WideBitplaneBlock,
     pw: usize,
     pa: usize,
@@ -639,7 +782,9 @@ unsafe fn wide_product_avx512_vpopcnt(
     let mut wmsb_msb = zero;
     let w_last = if weights_signed { pw - 1 } else { pw };
     for wb in 0..pw {
-        let wz = broadcast_plane_512(&w.planes[wb]);
+        // Elided all-zero weight planes are skipped before the broadcast.
+        let Some(plane) = w.plane(wb) else { continue };
+        let wz = broadcast_plane_512(plane);
         let mut acc = zero;
         let mut ab = 0usize;
         while ab < pa {
@@ -802,6 +947,47 @@ pub fn cpu_features() -> CpuFeatures {
 /// planes and contribute nothing.
 pub fn wide_inner_product(
     weights: &WideBitplaneBlock,
+    activations: &WideBitplaneBlock,
+    pw: Precision,
+    pa: Precision,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    dispatch_product(
+        WeightPlanes::Dense(weights),
+        activations,
+        pw,
+        pa,
+        weights_signed,
+        activations_signed,
+    )
+}
+
+/// [`wide_inner_product`] with the weight operand in compressed form: the
+/// kernels read the stored planes in place (no re-densifying) and skip
+/// elided all-zero planes in the weight-bit loop. Bit-identical to the dense
+/// path on every kernel tier at any precision pair and signedness.
+pub fn compressed_inner_product(
+    weights: &CompressedWideBlock,
+    activations: &WideBitplaneBlock,
+    pw: Precision,
+    pa: Precision,
+    weights_signed: bool,
+    activations_signed: bool,
+) -> i64 {
+    dispatch_product(
+        WeightPlanes::Compressed(weights),
+        activations,
+        pw,
+        pa,
+        weights_signed,
+        activations_signed,
+    )
+}
+
+/// Dispatches one inner product to the fastest detected kernel tier.
+fn dispatch_product(
+    weights: WeightPlanes<'_>,
     activations: &WideBitplaneBlock,
     pw: Precision,
     pa: Precision,
@@ -981,31 +1167,32 @@ mod tests {
         let w = WideBitplaneBlock::pack(&weights);
         let a = WideBitplaneBlock::pack(&activations);
         let (pw, pa) = (16usize, 16usize);
-        let portable = wide_product_core(&w, &a, pw, pa, true, true);
+        let wd = WeightPlanes::Dense(&w);
+        let portable = wide_product_core(wd, &a, pw, pa, true, true);
         #[cfg(target_arch = "x86_64")]
         {
             if std::arch::is_x86_feature_detected!("popcnt") {
                 // SAFETY: feature detected above.
                 assert_eq!(portable, unsafe {
-                    wide_product_popcnt(&w, &a, pw, pa, true, true)
+                    wide_product_popcnt(wd, &a, pw, pa, true, true)
                 });
             }
             if std::arch::is_x86_feature_detected!("avx2") {
                 // SAFETY: feature detected above.
                 assert_eq!(portable, unsafe {
-                    wide_product_avx2(&w, &a, pw, pa, true, true)
+                    wide_product_avx2(wd, &a, pw, pa, true, true)
                 });
             }
             if KernelTier::Avx512.detected() {
                 // SAFETY: tier features detected above.
                 assert_eq!(portable, unsafe {
-                    wide_product_avx512(&w, &a, pw, pa, true, true)
+                    wide_product_avx512(wd, &a, pw, pa, true, true)
                 });
             }
             if KernelTier::Avx512Vpopcnt.detected() {
                 // SAFETY: tier features detected above.
                 assert_eq!(portable, unsafe {
-                    wide_product_avx512_vpopcnt(&w, &a, pw, pa, true, true)
+                    wide_product_avx512_vpopcnt(wd, &a, pw, pa, true, true)
                 });
             }
         }
@@ -1026,16 +1213,17 @@ mod tests {
             for pw in 1..=16usize {
                 for pa in 1..=16usize {
                     for (ws, as_) in [(true, true), (true, false), (false, true), (false, false)] {
-                        let portable = wide_product_core(&w, &a, pw, pa, ws, as_);
+                        let wd = WeightPlanes::Dense(&w);
+                        let portable = wide_product_core(wd, &a, pw, pa, ws, as_);
                         if KernelTier::Avx512.detected() {
                             // SAFETY: tier features detected above.
-                            let got = unsafe { wide_product_avx512(&w, &a, pw, pa, ws, as_) };
+                            let got = unsafe { wide_product_avx512(wd, &a, pw, pa, ws, as_) };
                             assert_eq!(portable, got, "avx512 {lanes} lanes pw={pw} pa={pa}");
                         }
                         if KernelTier::Avx512Vpopcnt.detected() {
                             // SAFETY: tier features detected above.
                             let got =
-                                unsafe { wide_product_avx512_vpopcnt(&w, &a, pw, pa, ws, as_) };
+                                unsafe { wide_product_avx512_vpopcnt(wd, &a, pw, pa, ws, as_) };
                             assert_eq!(portable, got, "vpopcnt {lanes} lanes pw={pw} pa={pa}");
                         }
                     }
@@ -1118,6 +1306,119 @@ mod tests {
         assert!(WideBitplaneBlock::EMPTY.is_zero());
         assert!(!WideBitplaneBlock::pack(&[0, 0, 1]).is_zero());
         assert!(!WideBitplaneBlock::pack(&[-1]).is_zero());
+    }
+
+    #[test]
+    fn compressed_block_round_trips_exactly() {
+        for lanes in [0, 1, 63, 64, 65, 130, 255, 256] {
+            let values = ragged_values(lanes);
+            let dense = WideBitplaneBlock::pack(&values);
+            let compressed = CompressedWideBlock::compress(&dense);
+            assert_eq!(compressed.decompress(), dense, "{lanes} lanes");
+            assert_eq!(compressed.lanes(), lanes);
+            assert_eq!(compressed.is_zero(), dense.is_zero());
+            for signed in [true, false] {
+                assert_eq!(
+                    compressed.detected_precision(signed),
+                    dense.detected_precision(signed),
+                    "{lanes} lanes signed={signed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_block_elides_adversarial_planes() {
+        // All-even weights: plane 0 is all zeros and must be elided.
+        let evens: Vec<i32> = (0..256).map(|i| (i % 40) * 2 - 38).collect();
+        let dense = WideBitplaneBlock::pack(&evens);
+        let c = CompressedWideBlock::compress(&dense);
+        assert_eq!(c.plane(0), None);
+        assert_eq!(c.decompress(), dense);
+        // All -1: every plane is pure sign extension — nothing is stored.
+        let dense = WideBitplaneBlock::pack(&[-1; 256]);
+        let c = CompressedWideBlock::compress(&dense);
+        assert_eq!(c.planes().stored_planes().len(), 0);
+        assert_eq!(c.decompress(), dense);
+        // All zero: nothing stored, block flagged zero.
+        let c = CompressedWideBlock::compress(&WideBitplaneBlock::pack(&[0; 100]));
+        assert!(c.is_zero());
+        assert_eq!(c.planes().stored_planes().len(), 0);
+    }
+
+    #[test]
+    fn compressed_product_matches_dense_across_tiers_and_precisions() {
+        // The compressed weight path must be bit-identical to the dense path
+        // on every kernel, at every (pw, pa) pair (so both the elided-plane
+        // skip and the sign-extension resolution are exercised below, at, and
+        // above the detected width), under all four signedness combinations.
+        for lanes in [1, 63, 130, 256] {
+            let weights = ragged_values(lanes);
+            let activations: Vec<i32> = ragged_values(lanes).iter().map(|v| v / 5).collect();
+            let w = WideBitplaneBlock::pack(&weights);
+            let c = CompressedWideBlock::compress(&w);
+            let a = WideBitplaneBlock::pack(&activations);
+            for pw in 1..=16usize {
+                for pa in 1..=16usize {
+                    for (ws, as_) in [(true, true), (true, false), (false, true), (false, false)] {
+                        let dense = wide_product_core(WeightPlanes::Dense(&w), &a, pw, pa, ws, as_);
+                        let compressed = WeightPlanes::Compressed(&c);
+                        assert_eq!(
+                            dense,
+                            wide_product_core(compressed, &a, pw, pa, ws, as_),
+                            "portable {lanes} lanes pw={pw} pa={pa}"
+                        );
+                        #[cfg(target_arch = "x86_64")]
+                        {
+                            if std::arch::is_x86_feature_detected!("popcnt") {
+                                // SAFETY: feature detected above.
+                                let got =
+                                    unsafe { wide_product_popcnt(compressed, &a, pw, pa, ws, as_) };
+                                assert_eq!(dense, got, "popcnt {lanes} lanes pw={pw} pa={pa}");
+                            }
+                            if std::arch::is_x86_feature_detected!("avx2") {
+                                // SAFETY: feature detected above.
+                                let got =
+                                    unsafe { wide_product_avx2(compressed, &a, pw, pa, ws, as_) };
+                                assert_eq!(dense, got, "avx2 {lanes} lanes pw={pw} pa={pa}");
+                            }
+                            if KernelTier::Avx512.detected() {
+                                // SAFETY: tier features detected above.
+                                let got =
+                                    unsafe { wide_product_avx512(compressed, &a, pw, pa, ws, as_) };
+                                assert_eq!(dense, got, "avx512 {lanes} lanes pw={pw} pa={pa}");
+                            }
+                            if KernelTier::Avx512Vpopcnt.detected() {
+                                // SAFETY: tier features detected above.
+                                let got = unsafe {
+                                    wide_product_avx512_vpopcnt(compressed, &a, pw, pa, ws, as_)
+                                };
+                                assert_eq!(dense, got, "vpopcnt {lanes} lanes pw={pw} pa={pa}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_inner_product_matches_dispatched_dense() {
+        let weights = ragged_values(256);
+        let activations: Vec<i32> = ragged_values(256).iter().map(|v| v / 3).collect();
+        let w = WideBitplaneBlock::pack(&weights);
+        let c = CompressedWideBlock::compress(&w);
+        let a = WideBitplaneBlock::pack(&activations);
+        let pw = required_precision(&weights);
+        let pa = required_precision(&activations);
+        assert_eq!(
+            compressed_inner_product(&c, &a, pw, pa, true, true),
+            wide_inner_product(&w, &a, pw, pa, true, true),
+        );
+        assert_eq!(
+            compressed_inner_product(&c, &a, pw, pa, true, true),
+            reference_inner_product(&weights, &activations),
+        );
     }
 
     #[test]

@@ -259,6 +259,77 @@ fn health_models_and_stats_endpoints_respond() {
     assert_eq!(parsed.get("overloaded").and_then(Json::as_i64), Some(0));
 }
 
+/// The `/metrics` endpoint reports the process-wide weight store and every
+/// catalog model's prepack cost and compression footprint — the observable
+/// contract the serving bench and its CI gate read.
+#[test]
+fn metrics_endpoint_reports_weight_store_and_per_model_compression() {
+    fn as_f64(value: Option<&Json>) -> f64 {
+        match value {
+            Some(Json::Number(n)) => *n,
+            other => panic!("expected a number, got {other:?}"),
+        }
+    }
+    let server = start_server(BatchConfig {
+        window: Duration::from_millis(1),
+        ..BatchConfig::default()
+    });
+    let mut client = Client::connect(server.addr(), CLIENT_TIMEOUT).unwrap();
+    let metrics = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(metrics.status, 200, "{}", metrics.body);
+    let json = Json::parse(&metrics.body).unwrap();
+
+    let store = json.get("weight_store").expect("metrics carry the store");
+    // The catalog the server prepacked guarantees a populated store.
+    assert!(store.get("packs").and_then(Json::as_i64).unwrap() > 0);
+    assert!(store.get("entries").and_then(Json::as_i64).unwrap() > 0);
+    assert!(store.get("resident_bytes").and_then(Json::as_i64).unwrap() > 0);
+    assert!(store.get("hits").and_then(Json::as_i64).unwrap() >= 0);
+    assert!(as_f64(store.get("pack_seconds")) >= 0.0);
+    let store_ratio = as_f64(store.get("compression_ratio"));
+    assert!(
+        store_ratio > 0.0 && store_ratio <= 1.0,
+        "store stream ratio {store_ratio} out of range"
+    );
+
+    let models = json.get("models").and_then(Json::as_array).unwrap();
+    let catalog = ModelCatalog::reduced();
+    assert_eq!(models.len(), catalog.models().len());
+    for (entry, model) in models.iter().zip(catalog.models()) {
+        assert_eq!(entry.get("name").and_then(Json::as_str), Some(model.name));
+        assert!(as_f64(entry.get("prepack_seconds")) >= 0.0);
+        assert_eq!(
+            entry.get("packed_layers").and_then(Json::as_i64),
+            Some(model.cache.packed_layers() as i64)
+        );
+        // Reduced catalog models all fit under the FC prepack cap.
+        assert_eq!(
+            entry
+                .get("unpacked_fc_layers")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(model.cache.unpacked_fc_layers().len())
+        );
+        let dense = entry.get("dense_bytes").and_then(Json::as_i64).unwrap();
+        let compressed = entry
+            .get("compressed_bytes")
+            .and_then(Json::as_i64)
+            .unwrap();
+        assert!(dense > 0, "{} dense bytes", model.name);
+        assert!(
+            compressed > 0 && compressed <= dense,
+            "{}: compressed {compressed} vs dense {dense}",
+            model.name
+        );
+        let ratio = as_f64(entry.get("compression_ratio"));
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "{} stream ratio {ratio} out of range",
+            model.name
+        );
+    }
+}
+
 /// The static tier returns the same output values as dynamic (the
 /// conformance contract) while costing at least as many cycles — dynamic
 /// precision detection only ever trims work.
